@@ -1,0 +1,63 @@
+//===- bench/BenchUtils.h - Shared bench plumbing ---------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the table benches: emitting a Table according
+/// to the common `csv=` / `out=` options, and parsing comma-separated
+/// numeric lists (`cs=10,25,50`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_BENCH_BENCHUTILS_H
+#define PCBOUND_BENCH_BENCHUTILS_H
+
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// Prints \p T to stdout (aligned, or CSV with `csv=1`) and additionally
+/// writes CSV to the file named by `out=` when given. Returns false when
+/// the output file could not be written.
+inline bool emitTable(const Table &T, const OptionParser &Opts) {
+  if (Opts.getBool("csv", false))
+    T.printCsv(std::cout);
+  else
+    T.printAligned(std::cout);
+  std::string OutPath = Opts.getString("out", "");
+  if (OutPath.empty())
+    return true;
+  std::ofstream OS(OutPath);
+  if (!OS) {
+    std::cerr << "error: cannot write '" << OutPath << "'\n";
+    return false;
+  }
+  T.printCsv(OS);
+  std::cout << "# wrote " << OutPath << "\n";
+  return true;
+}
+
+/// Parses "10,25,50" into doubles; empty items are skipped.
+inline std::vector<double> parseNumberList(const std::string &Text) {
+  std::vector<double> Values;
+  std::istringstream IS(Text);
+  std::string Item;
+  while (std::getline(IS, Item, ','))
+    if (!Item.empty())
+      Values.push_back(std::stod(Item));
+  return Values;
+}
+
+} // namespace pcb
+
+#endif // PCBOUND_BENCH_BENCHUTILS_H

@@ -1,0 +1,103 @@
+//===- bench/bench_ablation.cpp - E7: ablating PF's improvements ---------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// Section 3.1 credits the improved bound to specific design choices of
+// PF. This bench disables them one at a time and measures the footprint
+// each variant forces out of the evacuating c-partial manager:
+//
+//   full          the paper's Algorithm 1
+//   no-density    density maintenance off: the adversary frees greedily,
+//                 handing the manager cheap chunks to evacuate
+//   no-ghosts     stage-one ghost bookkeeping off: compaction perturbs
+//                 the Robson stage's offset accounting
+//   no-stage1     the Robson bootstrap replaced by a flat unit-object
+//                 fill (a POPL-2011-style adversary, the paper's first
+//                 improvement undone)
+//   greedy-alloc  the fixed x*M per-step allocation replaced by
+//                 allocate-as-much-as-fits (the POPL 2011 behaviour the
+//                 paper's second improvement replaces)
+//   sigma=k       forcing each admissible density exponent, showing the
+//                 optimum matches the h-maximizing sigma
+//
+// Usage: bench_ablation [logm=15] [logn=9] [cs=20,50,100] [csv=0]
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "driver/Execution.h"
+#include "mm/EvacuatingCompactor.h"
+#include "BenchUtils.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <sstream>
+
+using namespace pcb;
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  unsigned LogM = unsigned(Opts.getUInt("logm", 15));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 9));
+  std::vector<double> Cs = parseNumberList(Opts.getString("cs", "20,50,100"));
+  uint64_t M = pow2(LogM);
+  uint64_t N = pow2(LogN);
+
+  std::cout << "# E7: ablation of PF's design choices vs the evacuating"
+            << " manager (M=" << formatWords(M) << ", n=" << formatWords(N)
+            << ")\n";
+
+  Table T({"c", "variant", "sigma", "measured_waste", "theory_h",
+           "moved_words"});
+
+  auto RunVariant = [&](double C, const std::string &Name,
+                        const CohenPetrankProgram::Options &ProgOpts) {
+    Heap H;
+    EvacuatingCompactor MM(H, C);
+    CohenPetrankProgram PF(M, N, C, ProgOpts);
+    Execution E(MM, PF, M);
+    ExecutionResult R = E.run();
+    T.beginRow();
+    T.addCell(uint64_t(C));
+    T.addCell(Name);
+    T.addCell(uint64_t(PF.sigma()));
+    T.addCell(R.wasteFactor(M), 3);
+    T.addCell(PF.targetWasteFactor(), 3);
+    T.addCell(R.MovedWords);
+  };
+
+  for (double C : Cs) {
+    CohenPetrankProgram::Options Full;
+    RunVariant(C, "full", Full);
+
+    CohenPetrankProgram::Options NoDensity;
+    NoDensity.MaintainDensity = false;
+    RunVariant(C, "no-density", NoDensity);
+
+    CohenPetrankProgram::Options NoGhosts;
+    NoGhosts.TrackGhosts = false;
+    RunVariant(C, "no-ghosts", NoGhosts);
+
+    CohenPetrankProgram::Options NoStageOne;
+    NoStageOne.RobsonBootstrap = false;
+    RunVariant(C, "no-stage1", NoStageOne);
+
+    CohenPetrankProgram::Options Greedy;
+    Greedy.FixedAllocation = false;
+    RunVariant(C, "greedy-alloc", Greedy);
+
+    unsigned MaxSigma = std::min(cohenPetrankMaxSigma(C),
+                                 (log2Exact(N) - 2) / 2);
+    for (unsigned S = 1; S <= MaxSigma; ++S) {
+      CohenPetrankProgram::Options Forced;
+      Forced.SigmaOverride = S;
+      RunVariant(C, "sigma=" + std::to_string(S), Forced);
+    }
+  }
+  if (!emitTable(T, Opts))
+    return 1;
+  return 0;
+}

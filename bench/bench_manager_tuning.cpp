@@ -1,0 +1,90 @@
+//===- bench/bench_manager_tuning.cpp - Evacuation aggressiveness --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// The manager-side ablation the theory predicts: PF keeps every chunk's
+// density above 2^-sigma > 1/c precisely so that evacuating it costs
+// more budget than the allocation recharges. A manager that evacuates
+// chunks denser than 1/c therefore burns budget for little footprint
+// against the adversary — while against ordinary churn, aggressive
+// evacuation is pure win. This bench sweeps EvacuatingCompactor's
+// density threshold against both kinds of workload and prints where the
+// budget went. Expected shape: against PF the footprint barely responds
+// to the threshold (and the budget empties), against churn it improves
+// with aggressiveness at low move cost.
+//
+// Usage: bench_manager_tuning [logm=15] [logn=8] [c=50]
+//        [thresholds=0.05,0.1,0.25,0.5,0.9] [csv=0] [out=]
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "adversary/SyntheticWorkloads.h"
+#include "driver/Execution.h"
+#include "mm/EvacuatingCompactor.h"
+#include "BenchUtils.h"
+#include "support/MathUtils.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace pcb;
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  unsigned LogM = unsigned(Opts.getUInt("logm", 15));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+  double C = Opts.getDouble("c", 50.0);
+  std::vector<double> Thresholds =
+      parseNumberList(Opts.getString("thresholds", "0.05,0.1,0.25,0.5,0.9"));
+  uint64_t M = pow2(LogM);
+  uint64_t N = pow2(LogN);
+
+  std::cout << "# Manager tuning: evacuation density threshold vs PF and"
+            << " vs churn (M=" << formatWords(M) << ", n=" << formatWords(N)
+            << ", c=" << C << ")\n"
+            << "# The adversary's density 2^-sigma > 1/c makes aggressive"
+            << " evacuation a budget sink against PF.\n";
+
+  Table T({"threshold", "workload", "measured_waste", "moved_words",
+           "evacuations", "budget_used_%"});
+  for (double Threshold : Thresholds) {
+    for (int Which = 0; Which != 2; ++Which) {
+      Heap H;
+      EvacuatingCompactor::Options MOpts;
+      MOpts.DensityThreshold = Threshold;
+      EvacuatingCompactor MM(H, C, MOpts);
+      std::unique_ptr<Program> Prog;
+      std::string Workload;
+      if (Which == 0) {
+        Prog = std::make_unique<CohenPetrankProgram>(M, N, C);
+        Workload = "cohen-petrank";
+      } else {
+        RandomChurnProgram::Options POpts;
+        POpts.Steps = 48;
+        POpts.MaxLogSize = LogN;
+        Prog = std::make_unique<RandomChurnProgram>(M, POpts);
+        Workload = "random-churn";
+      }
+      Execution E(MM, *Prog, M);
+      ExecutionResult R = E.run();
+      double BudgetPct = R.TotalAllocatedWords == 0
+                             ? 0.0
+                             : 100.0 * double(R.MovedWords) * C /
+                                   double(R.TotalAllocatedWords);
+      T.beginRow();
+      T.addCell(Threshold, 2);
+      T.addCell(Workload);
+      T.addCell(R.wasteFactor(M), 3);
+      T.addCell(R.MovedWords);
+      T.addCell(MM.numEvacuations());
+      T.addCell(BudgetPct, 1);
+    }
+  }
+  if (!emitTable(T, Opts))
+    return 1;
+  return 0;
+}

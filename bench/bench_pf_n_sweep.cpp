@@ -1,0 +1,82 @@
+//===- bench/bench_pf_n_sweep.cpp - Figure 2's simulated counterpart -----===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// Figure 2 plots the closed-form lower bound against the maximum object
+// size n. This bench measures the same sweep: at fixed c and fixed
+// M = ratio * n (the paper's proportions), PF runs against the best
+// c-partial managers and the measured waste factor is compared with the
+// closed form evaluated at the simulated scale. Theorem 1 predicts
+// measured >= theory in every cell, with both growing in n.
+//
+// Usage: bench_pf_n_sweep [c=50] [lognmin=6] [lognmax=10] [ratio=64]
+//                         [policy=evacuating] [csv=0] [out=]
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "driver/Execution.h"
+#include "mm/ManagerFactory.h"
+#include "BenchUtils.h"
+#include "support/AsciiChart.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace pcb;
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  double C = Opts.getDouble("c", 50.0);
+  unsigned LogNMin = unsigned(Opts.getUInt("lognmin", 6));
+  unsigned LogNMax = unsigned(Opts.getUInt("lognmax", 10));
+  uint64_t Ratio = Opts.getUInt("ratio", 64);
+  std::string Policy = Opts.getString("policy", "evacuating");
+
+  std::cout << "# Figure 2, simulated: PF vs " << Policy
+            << " while n grows (c=" << C << ", M=" << Ratio << "n)\n"
+            << "# Theorem 1: measured >= theory at every n; both grow"
+            << " with n.\n";
+
+  Table T({"log2(n)", "M_words", "measured_HS", "measured_waste",
+           "theory_h", "sigma"});
+  ChartSeries Measured{"measured waste (PF vs " + Policy + ")", '#', {}};
+  ChartSeries Theory{"Theorem 1 h at simulated scale", '.', {}};
+  for (unsigned LogN = LogNMin; LogN <= LogNMax; ++LogN) {
+    uint64_t N = pow2(LogN);
+    uint64_t M = Ratio * N;
+    Heap H;
+    auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+    if (!MM) {
+      std::cerr << "error: unknown policy '" << Policy << "'\n";
+      return 1;
+    }
+    CohenPetrankProgram PF(M, N, C);
+    Execution E(*MM, PF, M);
+    ExecutionResult R = E.run();
+    T.beginRow();
+    T.addCell(uint64_t(LogN));
+    T.addCell(M);
+    T.addCell(R.HeapSize);
+    T.addCell(R.wasteFactor(M), 3);
+    T.addCell(PF.targetWasteFactor(), 3);
+    T.addCell(uint64_t(PF.sigma()));
+    Measured.Y.push_back(R.wasteFactor(M));
+    Theory.Y.push_back(PF.targetWasteFactor());
+  }
+  if (!emitTable(T, Opts))
+    return 1;
+
+  AsciiChart::Options ChartOpts;
+  ChartOpts.XLabel = "log2(n)";
+  ChartOpts.YLabel = "waste factor";
+  AsciiChart Chart(double(LogNMin), double(LogNMax), ChartOpts);
+  Chart.addSeries(Measured);
+  Chart.addSeries(Theory);
+  std::cout << '\n';
+  Chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- bench/bench_substrate.cpp - E8: simulator micro-benchmarks --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// free-space index queries, heap place/free cycles, each manager policy
+// under churn, and whole adversary pipelines at small scale. These guard
+// the asymptotics the larger experiment benches rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "adversary/RobsonProgram.h"
+#include "driver/Execution.h"
+#include "heap/FreeSpaceIndex.h"
+#include "mm/ManagerFactory.h"
+#include "mm/SequentialFitManagers.h"
+#include "support/MathUtils.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pcb;
+
+namespace {
+
+/// Pre-fragments a free index with Holes holes of HoleSize words.
+void fragment(FreeSpaceIndex &F, uint64_t Holes, uint64_t HoleSize) {
+  F.reserve(0, Holes * HoleSize * 2);
+  for (uint64_t K = 0; K != Holes; ++K)
+    F.release(K * HoleSize * 2, HoleSize);
+}
+
+void BM_FreeIndexFirstFit(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, uint64_t(State.range(0)), 4);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.firstFit(4));
+    benchmark::DoNotOptimize(F.firstFit(8));
+  }
+}
+BENCHMARK(BM_FreeIndexFirstFit)->Arg(1024)->Arg(65536);
+
+void BM_FreeIndexBestFit(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, uint64_t(State.range(0)), 4);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.bestFit(4));
+    benchmark::DoNotOptimize(F.bestFit(8));
+  }
+}
+BENCHMARK(BM_FreeIndexBestFit)->Arg(1024)->Arg(65536);
+
+void BM_FreeIndexReserveRelease(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, 4096, 8);
+  Rng R(5);
+  for (auto _ : State) {
+    Addr A = R.nextBelow(4096) * 16;
+    F.reserve(A, 8);
+    F.release(A, 8);
+  }
+}
+BENCHMARK(BM_FreeIndexReserveRelease);
+
+void BM_HeapPlaceFree(benchmark::State &State) {
+  Heap H;
+  for (auto _ : State) {
+    ObjectId Id = H.place(H.freeSpace().firstFit(16), 16);
+    H.free(Id);
+  }
+}
+BENCHMARK(BM_HeapPlaceFree);
+
+void BM_ManagerChurn(benchmark::State &State, const char *Policy) {
+  Heap H;
+  auto MM = createManager(Policy, H, 20.0);
+  Rng R(7);
+  std::vector<ObjectId> Live;
+  for (auto _ : State) {
+    if (Live.size() < 512 || R.nextBool(0.5)) {
+      Live.push_back(MM->allocate(uint64_t(1) << R.nextBelow(6)));
+    } else {
+      size_t Pick = size_t(R.nextBelow(Live.size()));
+      MM->free(Live[Pick]);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_ManagerChurn, first_fit, "first-fit");
+BENCHMARK_CAPTURE(BM_ManagerChurn, best_fit, "best-fit");
+BENCHMARK_CAPTURE(BM_ManagerChurn, buddy, "buddy");
+BENCHMARK_CAPTURE(BM_ManagerChurn, segregated, "segregated-fit");
+BENCHMARK_CAPTURE(BM_ManagerChurn, evacuating, "evacuating");
+BENCHMARK_CAPTURE(BM_ManagerChurn, hybrid, "hybrid");
+BENCHMARK_CAPTURE(BM_ManagerChurn, sliding, "sliding");
+
+void BM_RobsonPipeline(benchmark::State &State) {
+  const uint64_t M = pow2(unsigned(State.range(0)));
+  for (auto _ : State) {
+    Heap H;
+    FirstFitManager MM(H, 1e18);
+    RobsonProgram PR(M, unsigned(State.range(1)));
+    Execution E(MM, PR, M);
+    benchmark::DoNotOptimize(E.run().HeapSize);
+  }
+}
+BENCHMARK(BM_RobsonPipeline)
+    ->Args({10, 5})
+    ->Args({12, 6})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CohenPetrankPipeline(benchmark::State &State) {
+  const uint64_t M = pow2(unsigned(State.range(0)));
+  const uint64_t N = pow2(unsigned(State.range(1)));
+  for (auto _ : State) {
+    Heap H;
+    auto MM = createManager("evacuating", H, 50.0);
+    CohenPetrankProgram PF(M, N, 50.0);
+    Execution E(*MM, PF, M);
+    benchmark::DoNotOptimize(E.run().HeapSize);
+  }
+}
+BENCHMARK(BM_CohenPetrankPipeline)
+    ->Args({12, 7})
+    ->Args({14, 8})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+//===- bench/bench_upper.cpp - E6: upper-bound manager behaviour ---------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// Measures how the Theorem-2-spirited HybridManager (segregated fit plus
+// budgeted evacuation) and its relatives behave against both adversarial
+// and ordinary workloads, and compares the measured footprints with the
+// three upper-bound formulas: (c+1) M (POPL 2011), 2 * Robson
+// (no-compaction, general programs) and the reconstructed Theorem 2.
+// Every measured waste must stay below every applicable upper bound.
+//
+// Usage: bench_upper [logm=15] [logn=8] [c=50] [csv=0]
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "adversary/PatternWorkloads.h"
+#include "adversary/RobsonProgram.h"
+#include "adversary/SyntheticWorkloads.h"
+#include "bounds/BenderskyPetrankBounds.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "bounds/RobsonBounds.h"
+#include "driver/Execution.h"
+#include "mm/ManagerFactory.h"
+#include "support/Statistics.h"
+#include "BenchUtils.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+using namespace pcb;
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  unsigned LogM = unsigned(Opts.getUInt("logm", 15));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+  double C = Opts.getDouble("c", 50.0);
+  uint64_t M = pow2(LogM);
+  uint64_t N = pow2(LogN);
+  BoundParams P{M, N, C};
+
+  std::cout << "# E6: upper-bound manager behaviour (M=" << formatWords(M)
+            << ", n=" << formatWords(N) << ", c=" << C << ")\n"
+            << "# Upper bounds: (c+1)M waste=" << C + 1.0
+            << "; 2*Robson waste="
+            << formatDouble(robsonGeneralWasteFactor(P), 3);
+  if (C > 0.5 * double(P.logN()))
+    std::cout << "; Theorem 2 waste="
+              << formatDouble(cohenPetrankUpperWasteFactor(P), 3);
+  std::cout << "\n";
+
+  std::vector<std::string> Policies = {"segregated-fit", "buddy",
+                                       "first-fit",      "evacuating",
+                                       "hybrid",         "paged-space",
+                                       "bump-compactor"};
+
+  // Stochastic workloads are averaged over seeds; the adversaries are
+  // deterministic and run once.
+  Table T({"workload", "policy", "waste_mean", "waste_min", "waste_max",
+           "moved_mean"});
+  auto RunStats =
+      [&](const std::string &Workload, const std::string &Policy,
+          const std::function<std::unique_ptr<Program>(uint64_t)> &Make,
+          const std::vector<uint64_t> &Seeds) {
+        RunningStat Waste, Moved;
+        for (uint64_t Seed : Seeds) {
+          Heap H;
+          auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+          auto Prog = Make(Seed);
+          Execution E(*MM, *Prog, M);
+          ExecutionResult R = E.run();
+          Waste.add(R.wasteFactor(M));
+          Moved.add(double(R.MovedWords));
+        }
+        T.beginRow();
+        T.addCell(Workload);
+        T.addCell(Policy);
+        T.addCell(Waste.mean(), 3);
+        T.addCell(Waste.min(), 3);
+        T.addCell(Waste.max(), 3);
+        T.addCell(uint64_t(Moved.mean()));
+      };
+  auto RunOne = [&](const std::string &Workload, const std::string &Policy,
+                    std::unique_ptr<Program> Prog) {
+    Heap H;
+    auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+    Execution E(*MM, *Prog, M);
+    ExecutionResult R = E.run();
+    T.beginRow();
+    T.addCell(Workload);
+    T.addCell(Policy);
+    T.addCell(R.wasteFactor(M), 3);
+    T.addCell(R.wasteFactor(M), 3);
+    T.addCell(R.wasteFactor(M), 3);
+    T.addCell(R.MovedWords);
+  };
+  const std::vector<uint64_t> Seeds = {1, 2, 3};
+
+  for (const std::string &Policy : Policies) {
+    RunOne("robson", Policy, std::make_unique<RobsonProgram>(M, LogN));
+    RunOne("cohen-petrank", Policy,
+           std::make_unique<CohenPetrankProgram>(M, N, C));
+    RunStats("random-churn", Policy,
+             [&](uint64_t Seed) -> std::unique_ptr<Program> {
+               RandomChurnProgram::Options O;
+               O.Steps = 48;
+               O.MaxLogSize = LogN;
+               O.Seed = Seed;
+               return std::make_unique<RandomChurnProgram>(M, O);
+             },
+             Seeds);
+    RunStats("markov-phase", Policy,
+             [&](uint64_t Seed) -> std::unique_ptr<Program> {
+               MarkovPhaseProgram::Options O;
+               O.MaxLogSize = LogN;
+               O.Seed = Seed;
+               return std::make_unique<MarkovPhaseProgram>(M, O);
+             },
+             Seeds);
+    RunStats("stack-lifo", Policy,
+             [&](uint64_t Seed) -> std::unique_ptr<Program> {
+               StackProgram::Options O;
+               O.MaxLogSize = LogN;
+               O.Seed = Seed;
+               return std::make_unique<StackProgram>(M, O);
+             },
+             Seeds);
+    RunStats("queue-fifo", Policy,
+             [&](uint64_t Seed) -> std::unique_ptr<Program> {
+               QueueProgram::Options O;
+               O.MaxLogSize = LogN;
+               O.Seed = Seed;
+               return std::make_unique<QueueProgram>(M, O);
+             },
+             Seeds);
+    RunStats("sawtooth", Policy,
+             [&](uint64_t Seed) -> std::unique_ptr<Program> {
+               SawtoothProgram::Options O;
+               O.MaxLogSize = LogN;
+               O.Seed = Seed;
+               return std::make_unique<SawtoothProgram>(M, O);
+             },
+             Seeds);
+  }
+  if (!emitTable(T, Opts))
+    return 1;
+  return 0;
+}

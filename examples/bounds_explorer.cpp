@@ -1,0 +1,77 @@
+//===- examples/bounds_explorer.cpp - All bounds for your parameters ------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// Evaluates every bound in the paper (and its two predecessor papers)
+// for user-supplied parameters and prints them with one-line readings.
+//
+// Usage: bounds_explorer [M=256M] [n=1M] [c=50]
+//   M  maximum simultaneously-live space (words; K/M/G accepted)
+//   n  maximum object size (words, power of two)
+//   c  compaction quota denominator (the manager moves <= 1/c of
+//      allocations)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BenderskyPetrankBounds.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "bounds/RobsonBounds.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace pcb;
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  BoundParams P;
+  P.M = Opts.getUInt("M", pow2(28));
+  P.N = Opts.getUInt("n", pow2(20));
+  P.C = Opts.getDouble("c", 50.0);
+  if (!P.valid()) {
+    std::cerr << "error: need power-of-two M >= n >= 2 and c > 1\n";
+    return 1;
+  }
+
+  std::cout << "Parameters: live space M = " << formatWords(P.M)
+            << " words, max object n = " << formatWords(P.N)
+            << " words (log n = " << P.logN() << "), quota c = " << P.C
+            << " (may move " << formatDouble(100.0 / P.C, 2)
+            << "% of allocations)\n\n";
+
+  unsigned Sigma = cohenPetrankOptimalSigma(P);
+  double H = cohenPetrankLowerWasteFactor(P);
+
+  Table T({"bound", "waste_factor", "heap_words"});
+  auto Row = [&](const std::string &Name, double Factor) {
+    T.beginRow();
+    T.addCell(Name);
+    T.addCell(Factor, 3);
+    T.addCell(uint64_t(Factor * double(P.M)));
+  };
+  Row("lower: Cohen-Petrank Theorem 1", H);
+  Row("lower: Bendersky-Petrank POPL'11", benderskyPetrankLowerWasteFactor(P));
+  Row("lower/upper: Robson (no moving)", robsonWasteFactor(P));
+  Row("upper: Bendersky-Petrank (c+1)M", benderskyPetrankUpperWasteFactor(P));
+  Row("upper: Robson general (2x)", robsonGeneralWasteFactor(P));
+  if (P.C > 0.5 * double(P.logN()))
+    Row("upper: Cohen-Petrank Theorem 2", cohenPetrankUpperWasteFactor(P));
+  Row("upper: best known combined", newBestUpperWasteFactor(P));
+  T.printAligned(std::cout);
+
+  std::cout << "\nReading:\n"
+            << "  * No memory manager that moves at most 1/"
+            << formatDouble(P.C, 0) << " of allocations can guarantee a\n"
+            << "    heap under " << formatDouble(H, 2)
+            << " x the live space (optimal adversary density 2^-" << Sigma
+            << ").\n"
+            << "  * A manager exists that never needs more than "
+            << formatDouble(newBestUpperWasteFactor(P), 2)
+            << " x the live space.\n"
+            << "  * Without any compaction the tight bound is "
+            << formatDouble(robsonWasteFactor(P), 2)
+            << " x (Robson, power-of-two programs).\n";
+  return 0;
+}

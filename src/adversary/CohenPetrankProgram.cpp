@@ -1,0 +1,402 @@
+//===- adversary/CohenPetrankProgram.cpp - The bad program PF ------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+
+#include "bounds/CohenPetrankBounds.h"
+#include "heap/ChunkView.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pcb;
+
+CohenPetrankProgram::CohenPetrankProgram(uint64_t M, uint64_t N, double C)
+    : CohenPetrankProgram(M, N, C, Options()) {}
+
+CohenPetrankProgram::CohenPetrankProgram(uint64_t M, uint64_t N, double C,
+                                         const Options &O)
+    : M(M), N(N), C(C), Opts(O), LogN(log2Exact(N)),
+      Core(M, O.TrackGhosts) {
+  assert(M >= N && "live bound below the largest object");
+  assert(LogN >= 4 && "n too small for a two-stage construction");
+
+  // Admissible sigmas: 2^sigma <= 3c/4 (evacuation unprofitable) and
+  // 2*sigma <= log2(n) - 2 (stage two non-empty).
+  BoundParams P{M, N, C};
+  unsigned MaxSigma =
+      std::min(cohenPetrankMaxSigma(C), (LogN - 2) / 2);
+  assert(MaxSigma >= 1 && "c too small for any admissible density");
+  if (Opts.SigmaOverride != 0) {
+    assert(Opts.SigmaOverride <= MaxSigma && "sigma override inadmissible");
+    Sigma = Opts.SigmaOverride;
+  } else {
+    double BestH = -1.0;
+    for (unsigned S = 1; S <= MaxSigma; ++S) {
+      double H = cohenPetrankLowerWasteFactorForSigma(P, S);
+      if (H > BestH) {
+        BestH = H;
+        Sigma = S;
+      }
+    }
+  }
+  TargetH = cohenPetrankLowerWasteFactorForSigma(P, Sigma);
+  X = (1.0 - TargetH / std::pow(2.0, double(Sigma))) / (double(Sigma) + 1.0);
+  X = std::max(X, 0.0);
+}
+
+bool CohenPetrankProgram::onObjectMoved(ObjectId Id, Addr From, Addr To) {
+  (void)To;
+  assert(TheHeap && "moved before the program's first step");
+  if (Phase == PhaseKind::StageOne || Phase == PhaseKind::NullSteps)
+    return Core.handleMove(*TheHeap, Id, From);
+
+  // Stage two: the object's association entries persist as phantoms; the
+  // object itself is freed immediately (return true).
+  auto WIt = Where.find(Id);
+  assert(WIt != Where.end() && "moved object has no association");
+  for (uint64_t Index : WIt->second) {
+    if (Index == NoChunk)
+      continue;
+    auto CIt = Chunks.find(Index);
+    assert(CIt != Chunks.end() && "association points at unknown chunk");
+    for (Entry &E : CIt->second.Entries)
+      if (E.Id == Id) {
+        E.Phantom = true;
+        // A fresh association on a chunk in E removes it from E
+        // (Definition 4.12) — but a phantom is not fresh; leave InE.
+      }
+  }
+  Where.erase(WIt);
+  return true;
+}
+
+void CohenPetrankProgram::advancePhase(MutatorContext &Ctx) {
+  if (Step <= Sigma) {
+    Phase = PhaseKind::StageOne;
+  } else if (Step <= 2 * Sigma - 1) {
+    Phase = PhaseKind::NullSteps;
+  } else if (Step <= LogN - 2) {
+    if (Phase != PhaseKind::StageTwo)
+      buildInitialAssociation(Ctx);
+    Phase = PhaseKind::StageTwo;
+  } else {
+    Phase = PhaseKind::Done;
+  }
+}
+
+bool CohenPetrankProgram::step(MutatorContext &Ctx) {
+  TheHeap = &Ctx.heap();
+  advancePhase(Ctx);
+  switch (Phase) {
+  case PhaseKind::StageOne:
+    if (Step == 0)
+      Core.runStepZero(Ctx);
+    else if (Opts.RobsonBootstrap)
+      Core.runStep(Ctx, Step);
+    break;
+  case PhaseKind::NullSteps:
+    break; // The paper's null steps: no allocation, no de-allocation.
+  case PhaseKind::StageTwo: {
+    unsigned I = Step;
+    mergeChunksTo(I);
+    freeForDensity(Ctx, I);
+    allocateStageTwo(Ctx, I);
+    RanStageTwoStep = true;
+    break;
+  }
+  case PhaseKind::Done:
+    return false;
+  }
+  ++Step;
+  advancePhase(Ctx);
+  return Phase != PhaseKind::Done;
+}
+
+void CohenPetrankProgram::buildInitialAssociation(MutatorContext &Ctx) {
+  CurLog = 2 * Sigma - 1;
+  uint64_t FSigma = Core.offset();
+  uint64_t Period = pow2(Sigma);
+  for (ObjectId Id : Core.objects()) {
+    if (!Ctx.heap().isLive(Id))
+      continue;
+    const Object &O = Ctx.heap().object(Id);
+    // With the Robson bootstrap, associate via the object's unique
+    // f_sigma-occupying word (all survivors of step sigma are
+    // f_sigma-occupying and of size <= 2^sigma). Without it, all objects
+    // are unit-sized and associate via their only word.
+    uint64_t Distance =
+        Opts.RobsonBootstrap ? ((FSigma - O.Address) & (Period - 1)) : 0;
+    assert(Distance < O.Size && "survivor is not f_sigma-occupying");
+    Addr Word = O.Address + Distance;
+    uint64_t Index = Word >> CurLog;
+    ChunkState &CS = Chunks[Index];
+    CS.Entries.push_back(Entry{Id, O.Size, false});
+    CS.AssocWords += O.Size;
+    Where[Id] = {Index, NoChunk};
+  }
+}
+
+void CohenPetrankProgram::normalizeChunk(ChunkState &CS) {
+  // Merge duplicate ids (the two halves of one object reunited by a
+  // partition merge) into a single whole entry.
+  for (size_t A = 0; A != CS.Entries.size(); ++A)
+    for (size_t B = A + 1; B != CS.Entries.size();) {
+      if (CS.Entries[B].Id == CS.Entries[A].Id) {
+        CS.Entries[A].Words += CS.Entries[B].Words;
+        CS.Entries[A].Phantom |= CS.Entries[B].Phantom;
+        CS.Entries[B] = CS.Entries.back();
+        CS.Entries.pop_back();
+      } else {
+        ++B;
+      }
+    }
+}
+
+void CohenPetrankProgram::mergeChunksTo(unsigned NewLog) {
+  assert(NewLog >= CurLog && "partitions only coarsen");
+  while (CurLog < NewLog) {
+    std::map<uint64_t, ChunkState> Merged;
+    for (auto &[Index, CS] : Chunks) {
+      ChunkState &Dst = Merged[Index >> 1];
+      Dst.AssocWords += CS.AssocWords;
+      Dst.Entries.insert(Dst.Entries.end(), CS.Entries.begin(),
+                         CS.Entries.end());
+      // E membership dissolves on a step change (Definition 4.12).
+      Dst.InE = false;
+    }
+    Chunks = std::move(Merged);
+    ++CurLog;
+  }
+  for (auto &[Index, CS] : Chunks) {
+    (void)Index;
+    normalizeChunk(CS);
+  }
+  rebuildWhere();
+}
+
+void CohenPetrankProgram::rebuildWhere() {
+  Where.clear();
+  for (const auto &[Index, CS] : Chunks)
+    for (const Entry &E : CS.Entries) {
+      if (E.Phantom)
+        continue;
+      auto It = Where.find(E.Id);
+      if (It == Where.end())
+        Where[E.Id] = {Index, NoChunk};
+      else {
+        assert(It->second[1] == NoChunk &&
+               "object associated with more than two chunks");
+        It->second[1] = Index;
+      }
+    }
+}
+
+void CohenPetrankProgram::reevaluateChunk(MutatorContext &Ctx,
+                                          uint64_t Index, uint64_t T,
+                                          std::vector<uint64_t> &Worklist) {
+  auto CIt = Chunks.find(Index);
+  if (CIt == Chunks.end())
+    return;
+  ChunkState &CS = CIt->second;
+
+  // Free as many associated objects as possible while AssocWords stays at
+  // least T (Algorithm 1 line 13). Removing the largest removable entry
+  // first keeps the residue below T + max entry size.
+  for (;;) {
+    Entry *Best = nullptr;
+    for (Entry &E : CS.Entries) {
+      if (E.Phantom)
+        continue;
+      if (CS.AssocWords - E.Words < T)
+        continue;
+      if (!Best || E.Words > Best->Words)
+        Best = &E;
+    }
+    if (!Best)
+      break;
+
+    ObjectId Id = Best->Id;
+    uint64_t Words = Best->Words;
+    uint64_t ObjectSize = Ctx.heap().object(Id).Size;
+    // Drop the entry from this chunk.
+    *Best = CS.Entries.back();
+    CS.Entries.pop_back();
+    CS.AssocWords -= Words;
+
+    if (Words == ObjectSize) {
+      // Wholly associated here: actually de-allocate it.
+      Where.erase(Id);
+      Ctx.free(Id);
+      continue;
+    }
+    // A half object: re-associate it wholly with the chunk holding the
+    // other half and re-evaluate that chunk (line 13's transfer rule).
+    assert(2 * Words == ObjectSize && "association is neither whole nor half");
+    auto WIt = Where.find(Id);
+    assert(WIt != Where.end() && "half object without reverse mapping");
+    uint64_t Other =
+        WIt->second[0] == Index ? WIt->second[1] : WIt->second[0];
+    assert(Other != NoChunk && "half object with only one chunk");
+    auto OIt = Chunks.find(Other);
+    assert(OIt != Chunks.end() && "other half's chunk is unknown");
+    bool Found = false;
+    for (Entry &E : OIt->second.Entries)
+      if (E.Id == Id) {
+        E.Words += Words;
+        Found = true;
+        break;
+      }
+    assert(Found && "other half's entry is missing");
+    (void)Found;
+    OIt->second.AssocWords += Words;
+    WIt->second = {Other, NoChunk};
+    Worklist.push_back(Other);
+  }
+}
+
+void CohenPetrankProgram::freeForDensity(MutatorContext &Ctx, unsigned I) {
+  uint64_t T = Opts.MaintainDensity ? pow2(I - Sigma) : 1;
+  std::vector<uint64_t> Worklist;
+  Worklist.reserve(Chunks.size());
+  for (const auto &[Index, CS] : Chunks) {
+    (void)CS;
+    Worklist.push_back(Index);
+  }
+  while (!Worklist.empty()) {
+    uint64_t Index = Worklist.back();
+    Worklist.pop_back();
+    reevaluateChunk(Ctx, Index, T, Worklist);
+  }
+}
+
+void CohenPetrankProgram::clearChunkForOverwrite(uint64_t Index) {
+  auto It = Chunks.find(Index);
+  if (It == Chunks.end())
+    return;
+  for ([[maybe_unused]] const Entry &E : It->second.Entries)
+    assert(E.Phantom && "overwriting a chunk with live associations");
+  Chunks.erase(It);
+}
+
+void CohenPetrankProgram::allocateStageTwo(MutatorContext &Ctx, unsigned I) {
+  uint64_t Size = pow2(I + 2);
+  uint64_t Count = Opts.FixedAllocation
+                       ? uint64_t(X * double(M)) / Size
+                       : UINT64_MAX;
+  ChunkView View(I);
+  for (uint64_t K = 0; K != Count; ++K) {
+    if (Ctx.headroom() < Size)
+      break;
+    ObjectId Id = Ctx.allocate(Size);
+    assert(Ctx.heap().isLive(Id) && "fresh allocation is dead");
+    const Object &O = Ctx.heap().object(Id);
+
+    // The object fully covers at least three chunks; take the first
+    // three (Algorithm 1 line 14).
+    uint64_t First = View.firstFullIndex(O.Address, Size);
+    assert(View.numFullChunks(O.Address, Size) >= 3 &&
+           "a 4-chunk object must cover three chunks fully");
+    uint64_t D1 = First, D2 = First + 1, D3 = First + 2;
+    clearChunkForOverwrite(D1);
+    clearChunkForOverwrite(D2);
+    clearChunkForOverwrite(D3);
+
+    ChunkState &C1 = Chunks[D1];
+    C1.Entries.push_back(Entry{Id, Size / 2, false});
+    C1.AssocWords = Size / 2;
+    ChunkState &C2 = Chunks[D2];
+    C2.InE = true;
+    ChunkState &C3 = Chunks[D3];
+    C3.Entries.push_back(Entry{Id, Size / 2, false});
+    C3.AssocWords = Size / 2;
+    Where[Id] = {D1, D3};
+  }
+}
+
+double CohenPetrankProgram::potential() const {
+  if (Chunks.empty())
+    return 0.0;
+  double TwoSigma = std::pow(2.0, double(Sigma));
+  double ChunkSize = double(pow2(CurLog));
+  double U = 0.0;
+  for (const auto &[Index, CS] : Chunks) {
+    (void)Index;
+    if (CS.InE)
+      U += ChunkSize;
+    else
+      U += std::min(TwoSigma * double(CS.AssocWords), ChunkSize);
+  }
+  return U - double(N) / 4.0;
+}
+
+bool CohenPetrankProgram::checkAssociationInvariants() const {
+  if (!TheHeap)
+    return true;
+  // Rebuild the per-object association totals from the chunk side.
+  std::map<ObjectId, uint64_t> Seen; // id -> total associated words
+  std::map<ObjectId, unsigned> Count;
+  ChunkView View(CurLog);
+  for (const auto &[Index, CS] : Chunks) {
+    uint64_t Sum = 0;
+    for (const Entry &E : CS.Entries) {
+      Sum += E.Words;
+      if (E.Phantom)
+        continue;
+      Seen[E.Id] += E.Words;
+      Count[E.Id] += 1;
+      // Property 3 of Claim 4.15: a live associated object intersects
+      // its chunk.
+      if (!TheHeap->isLive(E.Id))
+        return false;
+      const Object &O = TheHeap->object(E.Id);
+      Addr CStart = View.startOf(Index);
+      Addr CEnd = View.endOf(Index);
+      if (O.end() <= CStart || O.Address >= CEnd)
+        return false;
+    }
+    if (Sum != CS.AssocWords)
+      return false;
+  }
+  // Properties 1 and 2: each live object is associated whole with one
+  // chunk or half-and-half with two.
+  for (const auto &[Id, Words] : Seen) {
+    const Object &O = TheHeap->object(Id);
+    unsigned Parts = Count[Id];
+    if (Parts == 1 && Words != O.Size && 2 * Words != O.Size)
+      return false;
+    if (Parts == 2 && Words != O.Size)
+      return false;
+    if (Parts > 2)
+      return false;
+    auto WIt = Where.find(Id);
+    if (WIt == Where.end())
+      return false;
+  }
+  return true;
+}
+
+bool CohenPetrankProgram::checkDensityInvariant() const {
+  if (!Opts.MaintainDensity || Chunks.empty() || !RanStageTwoStep)
+    return true;
+  uint64_t T = CurLog >= Sigma ? pow2(CurLog - Sigma) : 1;
+  for (const auto &[Index, CS] : Chunks) {
+    (void)Index;
+    uint64_t LiveWords = 0;
+    unsigned LiveCount = 0;
+    for (const Entry &E : CS.Entries) {
+      if (E.Phantom)
+        continue;
+      LiveWords += E.Words;
+      ++LiveCount;
+    }
+    if (LiveCount > 1 && LiveWords > 2 * T)
+      return false;
+  }
+  return true;
+}

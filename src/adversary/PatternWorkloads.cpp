@@ -1,0 +1,99 @@
+//===- adversary/PatternWorkloads.cpp - Classic allocation patterns ------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/PatternWorkloads.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+bool StackProgram::step(MutatorContext &Ctx) {
+  if (StepsDone >= Opts.Steps)
+    return false;
+
+  // Push until the target occupancy...
+  uint64_t Target = uint64_t(Opts.TargetOccupancy * double(M));
+  while (Ctx.heap().stats().LiveWords < Target) {
+    uint64_t Size = pow2(unsigned(Rand.nextBelow(Opts.MaxLogSize + 1)));
+    if (Ctx.headroom() < Size)
+      break;
+    Stack.push_back(Ctx.allocate(Size));
+  }
+  // ... then pop a random run in strict LIFO order.
+  uint64_t Pops = Rand.nextInRange(1, Stack.empty() ? 1 : Stack.size());
+  while (Pops-- != 0 && !Stack.empty()) {
+    ObjectId Id = Stack.back();
+    Stack.pop_back();
+    if (Ctx.heap().isLive(Id))
+      Ctx.free(Id);
+  }
+
+  ++StepsDone;
+  return StepsDone < Opts.Steps;
+}
+
+bool QueueProgram::step(MutatorContext &Ctx) {
+  if (StepsDone >= Opts.Steps)
+    return false;
+
+  uint64_t Target = uint64_t(Opts.TargetOccupancy * double(M));
+  for (uint64_t K = 0; K != Opts.BatchObjects; ++K) {
+    uint64_t Size = pow2(unsigned(Rand.nextBelow(Opts.MaxLogSize + 1)));
+    // Make room FIFO-style before admitting the newcomer.
+    while (Ctx.heap().stats().LiveWords + Size > Target &&
+           !Window.empty()) {
+      ObjectId Old = Window.front();
+      Window.pop_front();
+      if (Ctx.heap().isLive(Old))
+        Ctx.free(Old);
+    }
+    if (Ctx.headroom() < Size)
+      break;
+    Window.push_back(Ctx.allocate(Size));
+  }
+
+  ++StepsDone;
+  return StepsDone < Opts.Steps;
+}
+
+bool SawtoothProgram::step(MutatorContext &Ctx) {
+  if (WavesDone >= Opts.Waves)
+    return false;
+
+  // Drop the previous wave, keeping a pinned residue alive forever (the
+  // survivors that make sawtooth heaps fragment in practice).
+  for (ObjectId Id : Wave) {
+    if (!Ctx.heap().isLive(Id))
+      continue;
+    if (Rand.nextBool(Opts.PinnedFraction)) {
+      Pinned.push_back(Id);
+      continue;
+    }
+    Ctx.free(Id);
+  }
+  Wave.clear();
+
+  // Refill with this wave's size band: waves alternate between small,
+  // medium and large mixes.
+  unsigned Span = Opts.MaxLogSize - Opts.MinLogSize + 1;
+  unsigned BandLow = Opts.MinLogSize + unsigned(WavesDone % Span);
+  uint64_t Target = uint64_t(Opts.TargetOccupancy * double(M));
+  while (Ctx.heap().stats().LiveWords < Target) {
+    unsigned Log = BandLow;
+    if (BandLow < Opts.MaxLogSize && Rand.nextBool(0.5))
+      ++Log;
+    uint64_t Size = pow2(Log);
+    if (Ctx.headroom() < Size)
+      break;
+    Wave.push_back(Ctx.allocate(Size));
+  }
+
+  ++WavesDone;
+  return WavesDone < Opts.Waves;
+}

@@ -1,0 +1,117 @@
+//===- adversary/PatternWorkloads.h - Classic allocation patterns -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three canonical lifetime patterns from the allocation-behaviour
+/// literature, as programs in the paper's model:
+///
+///   StackProgram    LIFO — objects die in reverse allocation order
+///                   (call stacks, arena phases); the friendliest case
+///                   for every placement policy.
+///   QueueProgram    FIFO — a sliding window of the W most recent
+///                   objects (buffers, pipelines); freed space trails
+///                   the allocation point.
+///   SawtoothProgram fill the live budget, drop (almost) everything,
+///                   repeat with a different size mix each wave — the
+///                   classic driver of size-class drift.
+///
+/// Together with the synthetic workloads these provide the "ordinary
+/// program" contrast for the paper's worst-case bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_ADVERSARY_PATTERNWORKLOADS_H
+#define PCBOUND_ADVERSARY_PATTERNWORKLOADS_H
+
+#include "adversary/Program.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace pcb {
+
+/// LIFO lifetimes: push to a target depth, pop a random run, repeat.
+class StackProgram : public Program {
+public:
+  struct Options {
+    uint64_t Steps = 64;
+    double TargetOccupancy = 0.9;
+    unsigned MaxLogSize = 8;
+    uint64_t Seed = 3;
+  };
+
+  StackProgram(uint64_t M, const Options &O) : M(M), Opts(O), Rand(O.Seed) {}
+
+  bool step(MutatorContext &Ctx) override;
+  std::string name() const override { return "stack-lifo"; }
+
+private:
+  uint64_t M;
+  Options Opts;
+  Rng Rand;
+  uint64_t StepsDone = 0;
+  std::vector<ObjectId> Stack;
+};
+
+/// FIFO lifetimes: a window of recent objects; each step allocates a
+/// batch and frees the same count from the window's old end.
+class QueueProgram : public Program {
+public:
+  struct Options {
+    uint64_t Steps = 64;
+    uint64_t BatchObjects = 32;
+    double TargetOccupancy = 0.9;
+    unsigned MaxLogSize = 8;
+    uint64_t Seed = 4;
+  };
+
+  QueueProgram(uint64_t M, const Options &O) : M(M), Opts(O), Rand(O.Seed) {}
+
+  bool step(MutatorContext &Ctx) override;
+  std::string name() const override { return "queue-fifo"; }
+
+private:
+  uint64_t M;
+  Options Opts;
+  Rng Rand;
+  uint64_t StepsDone = 0;
+  std::deque<ObjectId> Window;
+};
+
+/// Sawtooth lifetimes: fill to the budget with one wave's size mix, free
+/// all but a pinned residue, switch the mix, repeat.
+class SawtoothProgram : public Program {
+public:
+  struct Options {
+    uint64_t Waves = 12;
+    double PinnedFraction = 0.02;
+    double TargetOccupancy = 0.95;
+    unsigned MinLogSize = 0;
+    unsigned MaxLogSize = 8;
+    uint64_t Seed = 5;
+  };
+
+  SawtoothProgram(uint64_t M, const Options &O)
+      : M(M), Opts(O), Rand(O.Seed) {}
+
+  bool step(MutatorContext &Ctx) override;
+  std::string name() const override { return "sawtooth"; }
+
+private:
+  uint64_t M;
+  Options Opts;
+  Rng Rand;
+  uint64_t WavesDone = 0;
+  std::vector<ObjectId> Wave;
+  std::vector<ObjectId> Pinned;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_ADVERSARY_PATTERNWORKLOADS_H

@@ -1,0 +1,14 @@
+//===- adversary/Program.cpp - The program side of the interaction -------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/Program.h"
+
+using namespace pcb;
+
+// Out-of-line virtual anchors.
+MutatorContext::~MutatorContext() = default;
+Program::~Program() = default;

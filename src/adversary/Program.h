@@ -1,0 +1,81 @@
+//===- adversary/Program.h - The program side of the interaction -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program/memory-manager interaction of Section 2.1 is a series of
+/// sub-interactions: the program de-allocates, the manager may compact,
+/// the program allocates. A Program implements one such series as a
+/// sequence of step() calls against a MutatorContext (provided by the
+/// execution driver), and reacts to compaction through onObjectMoved —
+/// the paper's model gives the program full knowledge of object
+/// addresses, which the context exposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_ADVERSARY_PROGRAM_H
+#define PCBOUND_ADVERSARY_PROGRAM_H
+
+#include "heap/Heap.h"
+
+#include <string>
+
+namespace pcb {
+
+/// The services the execution driver offers a running program.
+class MutatorContext {
+public:
+  virtual ~MutatorContext();
+
+  /// Allocates \p Size words through the memory manager. Asserts the
+  /// program's live-space bound M is respected.
+  virtual ObjectId allocate(uint64_t Size) = 0;
+
+  /// De-allocates a live object.
+  virtual void free(ObjectId Id) = 0;
+
+  /// Read access to the heap (addresses, sizes, statistics).
+  virtual const Heap &heap() const = 0;
+
+  /// The program's simultaneous live-space bound M, in words.
+  virtual uint64_t liveBound() const = 0;
+
+  /// Words the program may still allocate before reaching M.
+  uint64_t headroom() const {
+    uint64_t Live = heap().stats().LiveWords;
+    uint64_t M = liveBound();
+    return M > Live ? M - Live : 0;
+  }
+};
+
+/// A program in the paper's model: a driver repeatedly calls step() until
+/// it returns false. Each step is one de-allocate/compact/allocate
+/// sub-interaction (the driver validates invariants between steps).
+class Program {
+public:
+  virtual ~Program();
+
+  /// Performs one step. Returns false when the program has finished.
+  virtual bool step(MutatorContext &Ctx) = 0;
+
+  /// Notification that the manager moved \p Id from \p From to \p To.
+  /// Returns true to de-allocate the moved object immediately (the
+  /// behaviour of the paper's adversaries); the manager performs the free
+  /// before continuing.
+  virtual bool onObjectMoved(ObjectId Id, Addr From, Addr To) {
+    (void)Id;
+    (void)From;
+    (void)To;
+    return false;
+  }
+
+  /// Display name, e.g. "robson".
+  virtual std::string name() const = 0;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_ADVERSARY_PROGRAM_H

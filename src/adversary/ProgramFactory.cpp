@@ -1,0 +1,65 @@
+//===- adversary/ProgramFactory.cpp - Programs by name --------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/ProgramFactory.h"
+
+#include "adversary/CohenPetrankProgram.h"
+#include "adversary/PatternWorkloads.h"
+#include "adversary/RobsonProgram.h"
+#include "adversary/SyntheticWorkloads.h"
+#include "support/MathUtils.h"
+
+using namespace pcb;
+
+std::unique_ptr<Program> pcb::createProgram(const std::string &Name,
+                                            uint64_t M, unsigned LogN,
+                                            double C) {
+  if (Name == "robson")
+    return std::make_unique<RobsonProgram>(M, LogN);
+  if (Name == "cohen-petrank")
+    return std::make_unique<CohenPetrankProgram>(M, pow2(LogN), C);
+  if (Name == "random-churn") {
+    RandomChurnProgram::Options O;
+    O.MaxLogSize = LogN;
+    return std::make_unique<RandomChurnProgram>(M, O);
+  }
+  if (Name == "markov-phase") {
+    MarkovPhaseProgram::Options O;
+    O.MaxLogSize = LogN;
+    return std::make_unique<MarkovPhaseProgram>(M, O);
+  }
+  if (Name == "stack-lifo") {
+    StackProgram::Options O;
+    O.MaxLogSize = LogN;
+    return std::make_unique<StackProgram>(M, O);
+  }
+  if (Name == "queue-fifo") {
+    QueueProgram::Options O;
+    O.MaxLogSize = LogN;
+    return std::make_unique<QueueProgram>(M, O);
+  }
+  if (Name == "sawtooth") {
+    SawtoothProgram::Options O;
+    O.MaxLogSize = LogN;
+    return std::make_unique<SawtoothProgram>(M, O);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> pcb::allProgramNames() {
+  return {"robson",      "cohen-petrank", "random-churn", "markov-phase",
+          "stack-lifo", "queue-fifo",    "sawtooth"};
+}
+
+std::vector<std::string> pcb::adversarialProgramNames() {
+  return {"robson", "cohen-petrank"};
+}
+
+std::vector<std::string> pcb::ordinaryProgramNames() {
+  return {"random-churn", "markov-phase", "stack-lifo", "queue-fifo",
+          "sawtooth"};
+}

@@ -1,0 +1,45 @@
+//===- adversary/ProgramFactory.h - Programs by name ------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates programs by name so the CLI, benches and tests can sweep over
+/// adversaries and ordinary workloads uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_ADVERSARY_PROGRAMFACTORY_H
+#define PCBOUND_ADVERSARY_PROGRAMFACTORY_H
+
+#include "adversary/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// Creates the program named \p Name. \p M is the live bound, \p LogN the
+/// log2 of the maximum object size, \p C the manager's compaction quota
+/// (used by the PF adversary to tune sigma and x). Returns nullptr for
+/// unknown names. Known names: "robson", "cohen-petrank",
+/// "random-churn", "markov-phase", "stack-lifo", "queue-fifo",
+/// "sawtooth".
+std::unique_ptr<Program> createProgram(const std::string &Name, uint64_t M,
+                                       unsigned LogN, double C);
+
+/// All names createProgram accepts.
+std::vector<std::string> allProgramNames();
+
+/// The adversarial subset (the paper's constructions).
+std::vector<std::string> adversarialProgramNames();
+
+/// The ordinary-workload subset (the benchmarks-behave-better contrast).
+std::vector<std::string> ordinaryProgramNames();
+
+} // namespace pcb
+
+#endif // PCBOUND_ADVERSARY_PROGRAMFACTORY_H

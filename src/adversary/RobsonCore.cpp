@@ -1,0 +1,105 @@
+//===- adversary/RobsonCore.cpp - Shared Robson stage machinery ----------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/RobsonCore.h"
+
+#include "heap/ChunkView.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+void RobsonCore::runStepZero(MutatorContext &Ctx) {
+  Offset = 0;
+  Mine.reserve(size_t(M < (uint64_t(1) << 26) ? M : (uint64_t(1) << 26)));
+  for (uint64_t K = 0; K != M; ++K)
+    Mine.push_back(Ctx.allocate(1));
+  LastOccupierCount = M;
+}
+
+uint64_t RobsonCore::scoreOffset(const Heap &H, unsigned I,
+                                 uint64_t F) const {
+  ChunkView View(I);
+  uint64_t ChunkSize = View.chunkSize();
+  uint64_t Score = 0;
+  for (ObjectId Id : Mine) {
+    if (!H.isLive(Id))
+      continue;
+    const Object &O = H.object(Id);
+    if (View.isOccupying(O.Address, O.Size, F))
+      Score += ChunkSize - O.Size;
+  }
+  for (const GhostObject &G : Ghosts)
+    if (View.isOccupying(G.Address, G.Size, F))
+      Score += ChunkSize - G.Size;
+  return Score;
+}
+
+void RobsonCore::runStep(MutatorContext &Ctx, unsigned I) {
+  assert(I >= 1 && "step zero has its own entry point");
+  const Heap &H = Ctx.heap();
+  ChunkView View(I);
+
+  // Pick f_i among the two extensions of f_{i-1} (Algorithm 2, line 4):
+  // keep the one whose occupying objects waste more chunk space.
+  uint64_t CandLow = Offset;
+  uint64_t CandHigh = Offset + pow2(I - 1);
+  uint64_t ScoreLow = scoreOffset(H, I, CandLow);
+  uint64_t ScoreHigh = scoreOffset(H, I, CandHigh);
+  Offset = ScoreHigh > ScoreLow ? CandHigh : CandLow;
+
+  // Free every live object that is not f_i-occupying; drop such ghosts.
+  uint64_t Occupiers = 0;
+  uint64_t LiveWordsKept = 0;
+  std::vector<ObjectId> Kept;
+  Kept.reserve(Mine.size());
+  for (ObjectId Id : Mine) {
+    if (!H.isLive(Id))
+      continue;
+    const Object &O = H.object(Id);
+    if (!View.isOccupying(O.Address, O.Size, Offset)) {
+      Ctx.free(Id);
+      continue;
+    }
+    Kept.push_back(Id);
+    LiveWordsKept += O.Size;
+    ++Occupiers;
+  }
+  Mine = std::move(Kept);
+
+  std::vector<GhostObject> KeptGhosts;
+  KeptGhosts.reserve(Ghosts.size());
+  GhostWordsTotal = 0;
+  for (const GhostObject &G : Ghosts) {
+    if (!View.isOccupying(G.Address, G.Size, Offset))
+      continue;
+    KeptGhosts.push_back(G);
+    GhostWordsTotal += G.Size;
+    ++Occupiers;
+  }
+  Ghosts = std::move(KeptGhosts);
+
+  // Fill the remaining live-or-ghost budget with 2^i objects (Algorithm 1
+  // line 7 / Algorithm 2 line 6). Allocation may trigger compaction; that
+  // converts live words into ghost words one-for-one, so the budget
+  // computed here stays valid.
+  uint64_t LiveOrGhostWords = LiveWordsKept + GhostWordsTotal;
+  uint64_t Size = pow2(I);
+  uint64_t Count = LiveOrGhostWords <= M ? (M - LiveOrGhostWords) / Size : 0;
+  for (uint64_t K = 0; K != Count; ++K)
+    Mine.push_back(Ctx.allocate(Size));
+  LastOccupierCount = Occupiers + Count;
+}
+
+bool RobsonCore::handleMove(const Heap &H, ObjectId Id, Addr From) {
+  if (TrackGhosts) {
+    const Object &O = H.object(Id);
+    Ghosts.push_back(GhostObject{From, O.Size});
+    GhostWordsTotal += O.Size;
+  }
+  return true;
+}

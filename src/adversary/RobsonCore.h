@@ -1,0 +1,81 @@
+//===- adversary/RobsonCore.h - Shared Robson stage machinery ---*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The step engine of Robson's bad program, shared between RobsonProgram
+/// (which runs it to log2(n)) and CohenPetrankProgram (whose first stage
+/// runs it to sigma): offset selection, the f-occupying freeing rule, the
+/// per-step allocation rule, and the ghost-object bookkeeping that makes
+/// the program well-defined against compacting managers (Definition 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_ADVERSARY_ROBSONCORE_H
+#define PCBOUND_ADVERSARY_ROBSONCORE_H
+
+#include "adversary/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcb {
+
+/// A compacted-then-freed object remembered at its original location.
+struct GhostObject {
+  Addr Address;
+  uint64_t Size;
+};
+
+/// Robson step engine with ghost bookkeeping.
+class RobsonCore {
+public:
+  /// \p M is the live-space bound. When \p TrackGhosts is false, moved
+  /// objects are freed but forgotten (an ablation of the reduction
+  /// machinery; see bench E7).
+  RobsonCore(uint64_t M, bool TrackGhosts)
+      : M(M), TrackGhosts(TrackGhosts) {}
+
+  /// Step 0: allocate M unit objects.
+  void runStepZero(MutatorContext &Ctx);
+
+  /// Step \p I >= 1: pick f_I, free non-occupying live and ghost objects,
+  /// allocate floor((M - liveOrGhostWords) / 2^I) objects of size 2^I.
+  void runStep(MutatorContext &Ctx, unsigned I);
+
+  /// Move notification: free the object and (optionally) keep a ghost.
+  /// Always returns true — the program de-allocates moved objects.
+  bool handleMove(const Heap &H, ObjectId Id, Addr From);
+
+  /// The chosen offset f_i after the most recent step.
+  uint64_t offset() const { return Offset; }
+
+  /// Ids of the program's objects; may contain dead ids (skip via
+  /// Heap::isLive).
+  const std::vector<ObjectId> &objects() const { return Mine; }
+
+  /// Live-or-ghost f-occupying object count after the most recent step
+  /// (the quantity Claim 4.9 bounds below).
+  uint64_t occupierCount() const { return LastOccupierCount; }
+
+  uint64_t ghostWords() const { return GhostWordsTotal; }
+  const std::vector<GhostObject> &ghosts() const { return Ghosts; }
+
+private:
+  uint64_t scoreOffset(const Heap &H, unsigned I, uint64_t F) const;
+
+  uint64_t M;
+  bool TrackGhosts;
+  uint64_t Offset = 0;
+  std::vector<ObjectId> Mine;
+  std::vector<GhostObject> Ghosts;
+  uint64_t GhostWordsTotal = 0;
+  uint64_t LastOccupierCount = 0;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_ADVERSARY_ROBSONCORE_H

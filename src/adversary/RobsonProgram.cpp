@@ -1,0 +1,37 @@
+//===- adversary/RobsonProgram.cpp - Robson's bad program PR -------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/RobsonProgram.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+RobsonProgram::RobsonProgram(uint64_t M, unsigned LastStep)
+    : LastStep(LastStep), Core(M, /*TrackGhosts=*/true) {
+  assert(M >= pow2(LastStep) && "live bound below the largest allocation");
+}
+
+bool RobsonProgram::onObjectMoved(ObjectId Id, Addr From, Addr To) {
+  (void)To;
+  assert(TheHeap && "moved before the program's first step");
+  return Core.handleMove(*TheHeap, Id, From);
+}
+
+bool RobsonProgram::step(MutatorContext &Ctx) {
+  TheHeap = &Ctx.heap();
+  if (Step > LastStep)
+    return false;
+  if (Step == 0)
+    Core.runStepZero(Ctx);
+  else
+    Core.runStep(Ctx, Step);
+  ++Step;
+  return Step <= LastStep;
+}

@@ -1,0 +1,143 @@
+//===- adversary/WorkloadSpec.cpp - Config-driven workloads ---------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/WorkloadSpec.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <istream>
+#include <sstream>
+
+using namespace pcb;
+
+bool WorkloadSpec::valid() const {
+  if (Phases.empty())
+    return false;
+  for (const PhaseSpec &P : Phases) {
+    if (P.Steps == 0)
+      return false;
+    if (P.TargetOccupancy < 0.0 || P.TargetOccupancy > 1.0)
+      return false;
+    if (P.FreeProbability < 0.0 || P.FreeProbability > 1.0)
+      return false;
+    if (P.MinLogSize > P.MaxLogSize || P.MaxLogSize >= 40)
+      return false;
+  }
+  return true;
+}
+
+/// Parses one "key=value" token into \p Phase; returns false on unknown
+/// keys or malformed values.
+static bool applyPhaseOption(const std::string &Token, PhaseSpec &Phase) {
+  size_t Eq = Token.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Token.size())
+    return false;
+  std::string Key = Token.substr(0, Eq);
+  std::string Value = Token.substr(Eq + 1);
+  char *End = nullptr;
+  double Num = std::strtod(Value.c_str(), &End);
+  if (!End || *End != '\0')
+    return false;
+  if (Key == "steps" && Num >= 1)
+    Phase.Steps = uint64_t(Num);
+  else if (Key == "occupancy")
+    Phase.TargetOccupancy = Num;
+  else if (Key == "free")
+    Phase.FreeProbability = Num;
+  else if (Key == "minlog" && Num >= 0)
+    Phase.MinLogSize = unsigned(Num);
+  else if (Key == "maxlog" && Num >= 0)
+    Phase.MaxLogSize = unsigned(Num);
+  else
+    return false;
+  return true;
+}
+
+bool pcb::parseWorkloadSpec(std::istream &IS, WorkloadSpec &Spec,
+                            std::string &Error) {
+  Spec = WorkloadSpec();
+  Spec.Phases.clear();
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    std::istringstream LS(Line);
+    std::string Word;
+    if (!(LS >> Word) || Word[0] == '#')
+      continue;
+    if (Word == "seed") {
+      if (!(LS >> Spec.Seed)) {
+        Error = "line " + std::to_string(LineNo) + ": seed needs a number";
+        return false;
+      }
+      continue;
+    }
+    if (Word == "phase") {
+      PhaseSpec Phase;
+      std::string Token;
+      while (LS >> Token)
+        if (!applyPhaseOption(Token, Phase)) {
+          Error = "line " + std::to_string(LineNo) + ": bad option '" +
+                  Token + "'";
+          return false;
+        }
+      Spec.Phases.push_back(Phase);
+      continue;
+    }
+    Error = "line " + std::to_string(LineNo) + ": unknown directive '" +
+            Word + "'";
+    return false;
+  }
+  if (!Spec.valid()) {
+    Error = "spec is empty or has out-of-range phase parameters";
+    return false;
+  }
+  return true;
+}
+
+SpecProgram::SpecProgram(uint64_t M, WorkloadSpec Spec)
+    : M(M), Spec(std::move(Spec)), Rand(this->Spec.Seed) {
+  assert(this->Spec.valid() && "running an invalid workload spec");
+}
+
+bool SpecProgram::step(MutatorContext &Ctx) {
+  if (PhaseIndex >= Spec.Phases.size())
+    return false;
+  const PhaseSpec &Phase = Spec.Phases[PhaseIndex];
+
+  // Death sub-phase.
+  std::vector<ObjectId> Kept;
+  Kept.reserve(Mine.size());
+  for (ObjectId Id : Mine) {
+    if (!Ctx.heap().isLive(Id))
+      continue;
+    if (Rand.nextBool(Phase.FreeProbability)) {
+      Ctx.free(Id);
+      continue;
+    }
+    Kept.push_back(Id);
+  }
+  Mine = std::move(Kept);
+
+  // Refill sub-phase within this phase's size band.
+  uint64_t Target = uint64_t(Phase.TargetOccupancy * double(M));
+  unsigned Span = Phase.MaxLogSize - Phase.MinLogSize + 1;
+  while (Ctx.heap().stats().LiveWords < Target) {
+    uint64_t Size =
+        pow2(Phase.MinLogSize + unsigned(Rand.nextBelow(Span)));
+    if (Ctx.headroom() < Size)
+      break;
+    Mine.push_back(Ctx.allocate(Size));
+  }
+
+  if (++StepInPhase >= Phase.Steps) {
+    StepInPhase = 0;
+    ++PhaseIndex;
+  }
+  return PhaseIndex < Spec.Phases.size();
+}

@@ -1,0 +1,84 @@
+//===- adversary/WorkloadSpec.h - Config-driven workloads -------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text format describing phased churn workloads, so experiment
+/// configurations can live in files instead of code. A spec is a list of
+/// phases; each phase runs a number of steps of "free some, refill to a
+/// target" churn with its own size band:
+///
+///   # comment
+///   seed 7
+///   phase steps=10 occupancy=0.9 free=0.3 minlog=0 maxlog=6
+///   phase steps=5  occupancy=0.4 free=0.8 minlog=4 maxlog=8
+///
+/// Defaults per phase: steps=8, occupancy=0.9, free=0.3, minlog=0,
+/// maxlog=8. This composes into sawtooth, drift and burst patterns; the
+/// pcbound CLI accepts it via `program=spec spec=FILE`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_ADVERSARY_WORKLOADSPEC_H
+#define PCBOUND_ADVERSARY_WORKLOADSPEC_H
+
+#include "adversary/Program.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// One phase of a spec workload.
+struct PhaseSpec {
+  uint64_t Steps = 8;
+  double TargetOccupancy = 0.9;
+  double FreeProbability = 0.3;
+  unsigned MinLogSize = 0;
+  unsigned MaxLogSize = 8;
+};
+
+/// A parsed workload specification.
+struct WorkloadSpec {
+  uint64_t Seed = 1;
+  std::vector<PhaseSpec> Phases;
+
+  /// True when every phase is well-formed (non-zero steps, fractions in
+  /// range, minlog <= maxlog < 40) and at least one phase exists.
+  bool valid() const;
+};
+
+/// Parses a spec. Returns false (with \p Error set to a one-line
+/// diagnostic) on malformed input.
+bool parseWorkloadSpec(std::istream &IS, WorkloadSpec &Spec,
+                       std::string &Error);
+
+/// Executes a WorkloadSpec as a program in the paper's model.
+class SpecProgram : public Program {
+public:
+  /// \p M is the live bound the occupancy targets are relative to.
+  SpecProgram(uint64_t M, WorkloadSpec Spec);
+
+  bool step(MutatorContext &Ctx) override;
+  std::string name() const override { return "spec"; }
+
+  uint64_t currentPhase() const { return PhaseIndex; }
+
+private:
+  uint64_t M;
+  WorkloadSpec Spec;
+  Rng Rand;
+  uint64_t PhaseIndex = 0;
+  uint64_t StepInPhase = 0;
+  std::vector<ObjectId> Mine;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_ADVERSARY_WORKLOADSPEC_H

@@ -1,0 +1,39 @@
+//===- bounds/BenderskyPetrankBounds.cpp - POPL 2011 bounds --------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BenderskyPetrankBounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pcb;
+
+double pcb::benderskyPetrankLowerHeapWords(const BoundParams &P) {
+  assert(P.valid() && "invalid bound parameters");
+  double M = double(P.M);
+  double N = double(P.N);
+  double LogN = double(P.logN());
+  if (P.C <= 4.0 * LogN) {
+    double Factor = std::min(P.C, LogN / (10.0 * std::log2(P.C + 1.0)));
+    return M * Factor - 5.0 * N;
+  }
+  return (M / 6.0) * LogN / (std::log2(LogN) + 2.0) - N / 2.0;
+}
+
+double pcb::benderskyPetrankLowerWasteFactor(const BoundParams &P) {
+  return std::max(1.0, benderskyPetrankLowerHeapWords(P) / double(P.M));
+}
+
+double pcb::benderskyPetrankUpperHeapWords(const BoundParams &P) {
+  assert(P.valid() && "invalid bound parameters");
+  return (P.C + 1.0) * double(P.M);
+}
+
+double pcb::benderskyPetrankUpperWasteFactor(const BoundParams &P) {
+  return P.C + 1.0;
+}

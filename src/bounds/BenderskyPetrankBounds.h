@@ -1,0 +1,51 @@
+//===- bounds/BenderskyPetrankBounds.h - POPL 2011 bounds -------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prior-art bounds of Bendersky & Petrank, "Space overhead bounds for
+/// dynamic memory management with partial compaction" (POPL 2011), quoted
+/// in Section 2.2 of the Cohen-Petrank paper:
+///
+///   Upper: a simple compacting collector Ac in A(c) with
+///          max_P HS(Ac, P) = (c + 1) * M.
+///   Lower: a bad program PW with
+///          min_A HS(A, PW) >= M * min(c, log(n)/(10*log(c+1))) - 5n
+///              for c <= 4*log(n), and
+///          min_A HS(A, PW) >= (M/6) * log(n)/(loglog(n) + 2) - n/2
+///              for c > 4*log(n).
+///
+/// At the paper's realistic parameters (M = 2^28, n = 2^20 words) this
+/// lower bound stays below the trivial bound M throughout c = 10..100 —
+/// the motivating observation of the Cohen-Petrank paper, and the property
+/// our Figure 1 bench reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_BOUNDS_BENDERSKYPETRANKBOUNDS_H
+#define PCBOUND_BOUNDS_BENDERSKYPETRANKBOUNDS_H
+
+#include "bounds/Params.h"
+
+namespace pcb {
+
+/// Heap words forced by the POPL 2011 bad program PW. May be below M (the
+/// trivial bound) at practical parameters; callers wanting the effective
+/// bound should clamp with max(M, ...).
+double benderskyPetrankLowerHeapWords(const BoundParams &P);
+
+/// Lower bound as a waste factor, clamped below at the trivial 1.0.
+double benderskyPetrankLowerWasteFactor(const BoundParams &P);
+
+/// The (c + 1) * M upper bound in heap words.
+double benderskyPetrankUpperHeapWords(const BoundParams &P);
+
+/// Upper bound as a waste factor (c + 1).
+double benderskyPetrankUpperWasteFactor(const BoundParams &P);
+
+} // namespace pcb
+
+#endif // PCBOUND_BOUNDS_BENDERSKYPETRANKBOUNDS_H

@@ -1,0 +1,54 @@
+//===- bounds/Planning.cpp - Inverse bound queries ------------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/Planning.h"
+
+#include "bounds/CohenPetrankBounds.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+static double lowerBoundAt(uint64_t M, uint64_t N, double C) {
+  BoundParams P{M, N, C};
+  return cohenPetrankLowerWasteFactor(P);
+}
+
+CompactionPlan pcb::planCompactionBudget(uint64_t M, uint64_t N,
+                                         double TargetWaste, double CMin,
+                                         double CMax) {
+  assert(CMin >= 2.0 && CMin < CMax && "bad search range");
+  CompactionPlan Plan;
+  if (TargetWaste < 1.0)
+    return Plan; // below even the trivial bound: never feasible
+
+  // h is non-decreasing in c. If even the most generous budget (smallest
+  // c) forces more than the target, no budget in range works.
+  if (lowerBoundAt(M, N, CMin) > TargetWaste)
+    return Plan;
+  Plan.Feasible = true;
+
+  if (lowerBoundAt(M, N, CMax) <= TargetWaste) {
+    Plan.MaxQuota = CMax;
+  } else {
+    // Binary search for the last c with h(c) <= target. h is a step-ish
+    // monotone function of c (sigma switches create plateaus), so plain
+    // bisection on the predicate is exact to the tolerance.
+    double Lo = CMin, Hi = CMax;
+    for (int Iter = 0; Iter != 64; ++Iter) {
+      double Mid = 0.5 * (Lo + Hi);
+      if (lowerBoundAt(M, N, Mid) <= TargetWaste)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    Plan.MaxQuota = Lo;
+  }
+  Plan.MinMovedFraction = 1.0 / Plan.MaxQuota;
+  Plan.AchievedLowerBound = lowerBoundAt(M, N, Plan.MaxQuota);
+  return Plan;
+}

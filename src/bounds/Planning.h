@@ -1,0 +1,51 @@
+//===- bounds/Planning.h - Inverse bound queries ----------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The practitioner-facing direction of Theorem 1: instead of "given c,
+/// how much waste can be forced", answer "given a waste budget, how much
+/// compaction must I be able to afford". Theorem 1's h(M, n, c) is
+/// monotone non-decreasing in c (less moving, more forced waste), so the
+/// inverse is a well-defined threshold: the largest c — equivalently the
+/// smallest moved fraction 1/c — whose guaranteed worst case stays at or
+/// below the target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_BOUNDS_PLANNING_H
+#define PCBOUND_BOUNDS_PLANNING_H
+
+#include "bounds/Params.h"
+
+namespace pcb {
+
+/// Result of a planning query.
+struct CompactionPlan {
+  /// True when some admissible c meets the target at all (a target below
+  /// the best achievable h is infeasible for any partial compactor).
+  bool Feasible = false;
+  /// The largest quota denominator c with h(M, n, c) <= TargetWaste.
+  double MaxQuota = 0.0;
+  /// The corresponding minimum moved fraction, 1 / MaxQuota.
+  double MinMovedFraction = 1.0;
+  /// h at that quota (<= the target when feasible).
+  double AchievedLowerBound = 0.0;
+};
+
+/// Finds the weakest compaction requirement under which *no* adversary
+/// can force more than \p TargetWaste times the live space — i.e. the
+/// point on Figure 1's curve at height TargetWaste. Searches
+/// c in [CMin, CMax] (defaults cover the paper's plotted range and
+/// beyond). Note this is a *necessary* budget by Theorem 1; achieving
+/// the target also needs a good enough manager (Theorem 2 territory).
+CompactionPlan planCompactionBudget(uint64_t M, uint64_t N,
+                                    double TargetWaste, double CMin = 2.0,
+                                    double CMax = 4096.0);
+
+} // namespace pcb
+
+#endif // PCBOUND_BOUNDS_PLANNING_H

@@ -1,0 +1,36 @@
+//===- bounds/RobsonBounds.cpp - Robson 1971/1974 bounds -----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/RobsonBounds.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+double pcb::robsonHeapWords(const BoundParams &P) {
+  assert(P.valid() && "invalid bound parameters");
+  double M = double(P.M);
+  double N = double(P.N);
+  return M * (0.5 * P.logN() + 1.0) - N + 1.0;
+}
+
+double pcb::robsonWasteFactor(const BoundParams &P) {
+  return robsonHeapWords(P) / double(P.M);
+}
+
+double pcb::robsonGeneralHeapWords(const BoundParams &P) {
+  return 2.0 * robsonHeapWords(P);
+}
+
+double pcb::robsonGeneralWasteFactor(const BoundParams &P) {
+  return robsonGeneralHeapWords(P) / double(P.M);
+}
+
+double pcb::robsonOccupierLowerBound(uint64_t M, unsigned Step) {
+  assert(Step < 63 && "step out of range");
+  return double(M) * double(Step + 2) / double(pow2(Step + 1));
+}

@@ -1,0 +1,49 @@
+//===- bounds/RobsonBounds.h - Robson 1971/1974 bounds ----------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robson's classical matching bounds for memory managers that never move
+/// objects (Section 2.2 of the paper):
+///
+///   min_A HS(A, Po) = M * (log2(n)/2 + 1) - n + 1     (lower, P2(M,n))
+///   max_P HS(Ao, P) = M * (log2(n)/2 + 1) - n + 1     (upper, P2(M,n))
+///
+/// For programs with arbitrary object sizes, rounding every request to the
+/// next power of two at most doubles the live space, giving the general
+/// upper bound 2 * (M * (log2(n)/2 + 1) - n + 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_BOUNDS_ROBSONBOUNDS_H
+#define PCBOUND_BOUNDS_ROBSONBOUNDS_H
+
+#include "bounds/Params.h"
+
+namespace pcb {
+
+/// Heap words any non-moving manager needs against Robson's bad program,
+/// for programs in P2(M, n). Matching upper bound for Robson's allocator.
+double robsonHeapWords(const BoundParams &P);
+
+/// robsonHeapWords as a multiple of M (the "waste factor" axis used by the
+/// paper's figures).
+double robsonWasteFactor(const BoundParams &P);
+
+/// Upper bound for arbitrary-size programs in P(M, n): round sizes up to
+/// powers of two, doubling the bound.
+double robsonGeneralHeapWords(const BoundParams &P);
+
+/// robsonGeneralHeapWords as a multiple of M.
+double robsonGeneralWasteFactor(const BoundParams &P);
+
+/// The number of f_i-occupying objects guaranteed after step i of Robson's
+/// program (Claim 4.9): at least M * (i + 2) / 2^(i+1).
+double robsonOccupierLowerBound(uint64_t M, unsigned Step);
+
+} // namespace pcb
+
+#endif // PCBOUND_BOUNDS_ROBSONBOUNDS_H

@@ -1,0 +1,39 @@
+//===- driver/EventLog.cpp - Typed execution event stream ----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/EventLog.h"
+
+#include <cassert>
+#include <map>
+
+using namespace pcb;
+
+std::vector<TraceOp> EventLog::toTrace() const {
+  std::vector<TraceOp> Trace;
+  // The trace addresses objects by allocation ordinal; map heap ids to
+  // the ordinal their Alloc event got.
+  std::map<ObjectId, uint64_t> Ordinal;
+  uint64_t NextOrdinal = 0;
+  for (const HeapEvent &E : Events) {
+    switch (E.Event) {
+    case HeapEvent::Kind::Alloc:
+      Ordinal[E.Id] = NextOrdinal++;
+      Trace.push_back(TraceOp::alloc(E.Size));
+      break;
+    case HeapEvent::Kind::Free: {
+      auto It = Ordinal.find(E.Id);
+      assert(It != Ordinal.end() && "free of an unlogged object");
+      Trace.push_back(TraceOp::release(It->second));
+      break;
+    }
+    case HeapEvent::Kind::Move:
+    case HeapEvent::Kind::StepEnd:
+      break; // manager decisions / markers: not program behaviour
+    }
+  }
+  return Trace;
+}

@@ -1,0 +1,85 @@
+//===- driver/TraceIO.cpp - Text serialization of event logs -------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/TraceIO.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace pcb;
+
+void pcb::writeEventLog(std::ostream &OS, const EventLog &Log) {
+  for (const HeapEvent &E : Log.events()) {
+    switch (E.Event) {
+    case HeapEvent::Kind::Alloc:
+      OS << "A " << E.Id << ' ' << E.Address << ' ' << E.Size << '\n';
+      break;
+    case HeapEvent::Kind::Free:
+      OS << "F " << E.Id << ' ' << E.Address << ' ' << E.Size << '\n';
+      break;
+    case HeapEvent::Kind::Move:
+      OS << "M " << E.Id << ' ' << E.From << ' ' << E.Address << ' '
+         << E.Size << '\n';
+      break;
+    case HeapEvent::Kind::StepEnd:
+      OS << "S\n";
+      break;
+    }
+  }
+}
+
+bool pcb::readEventLog(std::istream &IS, EventLog &Log) {
+  Log.clear();
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    char Tag = 0;
+    LS >> Tag;
+    ObjectId Id;
+    Addr A, B;
+    uint64_t Size;
+    switch (Tag) {
+    case 'A':
+      if (!(LS >> Id >> A >> Size)) {
+        Log.clear();
+        return false;
+      }
+      Log.record(HeapEvent::alloc(Id, A, Size));
+      break;
+    case 'F':
+      if (!(LS >> Id >> A >> Size)) {
+        Log.clear();
+        return false;
+      }
+      Log.record(HeapEvent::release(Id, A, Size));
+      break;
+    case 'M':
+      if (!(LS >> Id >> A >> B >> Size)) {
+        Log.clear();
+        return false;
+      }
+      Log.record(HeapEvent::move(Id, A, B, Size));
+      break;
+    case 'S':
+      Log.record(HeapEvent::stepEnd());
+      break;
+    default:
+      Log.clear();
+      return false;
+    }
+    // Trailing garbage on a line is a parse error too.
+    std::string Rest;
+    if (LS >> Rest) {
+      Log.clear();
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,92 @@
+//===- heap/ChunkView.h - Aligned power-of-two chunk partitions -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analysis partitions the heap into aligned chunks of size
+/// 2^i words — the partition D(i). This header provides the pure address
+/// arithmetic of those partitions: which chunk contains a word, which
+/// chunks an object's placement covers fully or touches, and the
+/// f-occupying test used by Robson's and Cohen-Petrank's adversaries
+/// (Definition 4.2: an object is f-occupying w.r.t. step i if it occupies
+/// a word at address k * 2^i + f for some integer k).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_CHUNKVIEW_H
+#define PCBOUND_HEAP_CHUNKVIEW_H
+
+#include "heap/HeapTypes.h"
+#include "support/MathUtils.h"
+
+#include <cstdint>
+
+namespace pcb {
+
+/// Address arithmetic for the partition D(LogSize) of the heap into
+/// aligned chunks of 2^LogSize words. Chunks are identified by their
+/// index: chunk K spans [K * 2^LogSize, (K + 1) * 2^LogSize).
+class ChunkView {
+public:
+  explicit ChunkView(unsigned LogSize) : LogSize(LogSize) {
+    assert(LogSize < 63 && "chunk size out of range");
+  }
+
+  unsigned logSize() const { return LogSize; }
+  uint64_t chunkSize() const { return pow2(LogSize); }
+
+  /// Index of the chunk containing address \p A.
+  uint64_t indexOf(Addr A) const { return A >> LogSize; }
+
+  /// First address of chunk \p Index.
+  Addr startOf(uint64_t Index) const { return Index << LogSize; }
+
+  /// One past the last address of chunk \p Index.
+  Addr endOf(uint64_t Index) const { return (Index + 1) << LogSize; }
+
+  /// Index of the first chunk *fully covered* by [Start, Start + Size),
+  /// via firstFull/lastFull: the covered range is [firstFull, lastFull].
+  /// When no chunk is fully covered, firstFull > lastFull.
+  uint64_t firstFullIndex(Addr Start, uint64_t Size) const {
+    (void)Size;
+    return (Start + chunkSize() - 1) >> LogSize;
+  }
+  uint64_t lastFullIndex(Addr Start, uint64_t Size) const {
+    Addr End = Start + Size;
+    return (End >> LogSize) - 1; // chunk ending at or before End
+  }
+
+  /// Number of chunks fully covered by [Start, Start + Size).
+  uint64_t numFullChunks(Addr Start, uint64_t Size) const {
+    uint64_t First = firstFullIndex(Start, Size);
+    uint64_t Last = lastFullIndex(Start, Size);
+    return Last + 1 > First ? Last + 1 - First : 0;
+  }
+
+  /// Index of the first/last chunk *touched* by [Start, Start + Size).
+  uint64_t firstTouchedIndex(Addr Start) const { return indexOf(Start); }
+  uint64_t lastTouchedIndex(Addr Start, uint64_t Size) const {
+    return indexOf(Start + Size - 1);
+  }
+
+  /// Definition 4.2: does the object at [Start, Start + Size) occupy some
+  /// word at address k * 2^LogSize + Offset?
+  bool isOccupying(Addr Start, uint64_t Size, uint64_t Offset) const {
+    assert(Offset < chunkSize() && "offset outside the chunk");
+    // The first address >= Start congruent to Offset is
+    // Start + ((Offset - Start) mod 2^LogSize); the object occupies it
+    // iff that distance is below Size.
+    uint64_t Distance = (Offset - Start) & (chunkSize() - 1);
+    return Distance < Size;
+  }
+
+private:
+  unsigned LogSize;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_CHUNKVIEW_H

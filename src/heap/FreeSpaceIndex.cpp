@@ -1,0 +1,189 @@
+//===- heap/FreeSpaceIndex.cpp - Free-space queries over the heap --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/FreeSpaceIndex.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pcb;
+
+FreeSpaceIndex::FreeSpaceIndex() { addBlock(0, AddrLimit); }
+
+unsigned FreeSpaceIndex::classOf(uint64_t Size) {
+  assert(Size != 0 && "zero-size block");
+  unsigned K = log2Floor(Size);
+  return K < NumClasses ? K : NumClasses - 1;
+}
+
+void FreeSpaceIndex::addBlock(Addr Start, Addr End) {
+  assert(Start < End && "empty free block");
+  ByAddr[Start] = End;
+  BySize.emplace(End - Start, Start);
+  Buckets[classOf(End - Start)].insert(Start);
+}
+
+void FreeSpaceIndex::eraseBlock(std::map<Addr, Addr>::iterator It) {
+  uint64_t Size = It->second - It->first;
+  [[maybe_unused]] size_t Erased = BySize.erase({Size, It->first});
+  assert(Erased == 1 && "free block missing from size index");
+  Buckets[classOf(Size)].erase(It->first);
+  ByAddr.erase(It);
+}
+
+void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
+  assert(Size != 0 && "releasing zero words");
+  Addr End = Start + Size;
+
+  // Find a predecessor to coalesce with.
+  auto It = ByAddr.lower_bound(Start);
+  if (It != ByAddr.begin()) {
+    auto Prev = std::prev(It);
+    assert(Prev->second <= Start && "releasing a range that is partly free");
+    if (Prev->second == Start) {
+      Start = Prev->first;
+      eraseBlock(Prev);
+    }
+  }
+  // Find a successor to coalesce with.
+  It = ByAddr.find(End);
+  if (It != ByAddr.end()) {
+    End = It->second;
+    eraseBlock(It);
+  }
+  addBlock(Start, End);
+}
+
+void FreeSpaceIndex::reserve(Addr Start, uint64_t Size) {
+  assert(Size != 0 && "reserving zero words");
+  Addr End = Start + Size;
+  auto It = ByAddr.upper_bound(Start);
+  assert(It != ByAddr.begin() && "reserve target is not free");
+  --It;
+  Addr BlockStart = It->first;
+  Addr BlockEnd = It->second;
+  assert(BlockStart <= Start && End <= BlockEnd &&
+         "reserve target is not entirely free");
+  eraseBlock(It);
+  if (BlockStart < Start)
+    addBlock(BlockStart, Start);
+  if (End < BlockEnd)
+    addBlock(End, BlockEnd);
+}
+
+bool FreeSpaceIndex::isFree(Addr Start, uint64_t Size) const {
+  assert(Size != 0 && "querying zero words");
+  auto It = ByAddr.upper_bound(Start);
+  if (It == ByAddr.begin())
+    return false;
+  --It;
+  return It->first <= Start && Start + Size <= It->second;
+}
+
+Addr FreeSpaceIndex::firstFit(uint64_t Size) const {
+  return firstFitFrom(0, Size);
+}
+
+Addr FreeSpaceIndex::firstFitFrom(Addr From, uint64_t Size) const {
+  assert(Size != 0 && "zero-size fit query");
+  // A block containing From may serve the request from From onward.
+  if (From != 0) {
+    auto It = ByAddr.upper_bound(From);
+    if (It != ByAddr.begin()) {
+      auto Prev = std::prev(It);
+      if (Prev->second > From && Prev->second - From >= Size)
+        return From;
+    }
+  }
+  // Every block in a class above classOf(Size) fits; blocks in the same
+  // class fit iff their exact size does. Take the lowest qualifying start
+  // across classes, resolving the boundary class last so its scan can be
+  // cut off at the best address found so far.
+  unsigned MinClass = classOf(Size);
+  Addr Best = InvalidAddr;
+  for (unsigned K = MinClass + 1; K < NumClasses; ++K) {
+    auto It = Buckets[K].lower_bound(From);
+    if (It != Buckets[K].end() && *It < Best)
+      Best = *It;
+  }
+  for (auto It = Buckets[MinClass].lower_bound(From);
+       It != Buckets[MinClass].end() && *It < Best; ++It) {
+    // Blocks here have size in [2^MinClass, 2^MinClass+1); when Size is
+    // an exact power of two (the adversarial workloads) the first block
+    // always fits and this loop exits immediately.
+    auto BIt = ByAddr.find(*It);
+    assert(BIt != ByAddr.end() && "bucket entry missing from map");
+    if (BIt->second - BIt->first >= Size) {
+      Best = *It;
+      break;
+    }
+  }
+  assert(Best != InvalidAddr && "infinite tail should always fit");
+  return Best;
+}
+
+Addr FreeSpaceIndex::bestFit(uint64_t Size) const {
+  assert(Size != 0 && "zero-size fit query");
+  // The set orders by (size, start): the first entry at or above
+  // (Size, 0) is the tightest block, lowest address first.
+  auto It = BySize.lower_bound({Size, 0});
+  assert(It != BySize.end() && "infinite tail should always fit");
+  return It->second;
+}
+
+Addr FreeSpaceIndex::firstFitAligned(uint64_t Size, uint64_t Align) const {
+  assert(Size != 0 && "zero-size fit query");
+  assert(isPowerOfTwo(Align) && "alignment must be a power of two");
+  // A block of size >= Size + Align - 1 always admits an aligned
+  // placement; smaller qualifying blocks are found by probing classes
+  // that could fit Size at all.
+  unsigned MinClass = classOf(Size);
+  Addr Best = InvalidAddr;
+  for (unsigned K = MinClass; K != NumClasses; ++K) {
+    for (auto It = Buckets[K].begin(); It != Buckets[K].end(); ++It) {
+      if (*It >= Best)
+        break;
+      auto BIt = ByAddr.find(*It);
+      assert(BIt != ByAddr.end() && "bucket entry missing from map");
+      Addr Aligned = alignUp(BIt->first, Align);
+      if (Aligned < BIt->second && BIt->second - Aligned >= Size) {
+        Best = Aligned;
+        break;
+      }
+    }
+  }
+  assert(Best != InvalidAddr && "infinite tail should always fit");
+  return Best;
+}
+
+Addr FreeSpaceIndex::firstFitBelow(uint64_t Size, Addr Limit) const {
+  assert(Size != 0 && "zero-size fit query");
+  // Blocks are address-ordered, so if the overall first fit does not end
+  // below the limit, no later block can either.
+  Addr A = firstFit(Size);
+  return A + Size <= Limit ? A : InvalidAddr;
+}
+
+uint64_t FreeSpaceIndex::freeWordsIn(Addr Start, Addr End) const {
+  assert(Start < End && "empty query range");
+  uint64_t Free = 0;
+  auto It = ByAddr.upper_bound(Start);
+  if (It != ByAddr.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Start)
+      Free += std::min(Prev->second, End) - Start;
+  }
+  for (; It != ByAddr.end() && It->first < End; ++It)
+    Free += std::min(It->second, End) - It->first;
+  return Free;
+}
+
+uint64_t FreeSpaceIndex::freeWordsBelow(Addr Limit) const {
+  return Limit == 0 ? 0 : freeWordsIn(0, Limit);
+}

@@ -1,0 +1,104 @@
+//===- heap/FreeSpaceIndex.h - Free-space queries over the heap -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maintains the complement of the used space — the free blocks — with the
+/// placement queries the memory-manager policies need: first fit, best
+/// fit, next fit (first fit from a cursor), and aligned first fit.
+///
+/// Three synchronized structures keep every query logarithmic in the
+/// number of free blocks: an address-ordered map, a size-ordered multimap
+/// (best fit), and per-size-class address sets (first fit: the lowest
+/// address among blocks of size >= S is the minimum over one lower_bound
+/// per size class, of which there are at most 61).
+///
+/// The heap model is unbounded above (up to AddrLimit); the index always
+/// holds a final "tail" block reaching AddrLimit, so placement queries
+/// never fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_FREESPACEINDEX_H
+#define PCBOUND_HEAP_FREESPACEINDEX_H
+
+#include "heap/HeapTypes.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace pcb {
+
+/// Address- and size-indexed free blocks with placement queries.
+class FreeSpaceIndex {
+public:
+  /// Initializes with the whole address space [0, AddrLimit) free.
+  FreeSpaceIndex();
+
+  /// Marks [Start, Start + Size) free, coalescing neighbours. The range
+  /// must currently be absent from the index (i.e. used).
+  void release(Addr Start, uint64_t Size);
+
+  /// Marks [Start, Start + Size) used. The range must be fully free.
+  void reserve(Addr Start, uint64_t Size);
+
+  /// True if [Start, Start + Size) is entirely free.
+  bool isFree(Addr Start, uint64_t Size) const;
+
+  /// Lowest address where \p Size words fit.
+  Addr firstFit(uint64_t Size) const;
+
+  /// Lowest address >= \p From where \p Size words fit (a block
+  /// containing \p From counts from \p From onward).
+  Addr firstFitFrom(Addr From, uint64_t Size) const;
+
+  /// Address of the smallest free block that fits \p Size (ties broken by
+  /// lowest address).
+  Addr bestFit(uint64_t Size) const;
+
+  /// Lowest \p Align-aligned address where \p Size words fit.
+  /// \p Align must be a power of two.
+  Addr firstFitAligned(uint64_t Size, uint64_t Align) const;
+
+  /// Lowest address where \p Size words fit entirely below \p Limit, or
+  /// InvalidAddr when no such placement exists.
+  Addr firstFitBelow(uint64_t Size, Addr Limit) const;
+
+  /// Number of free blocks (including the infinite tail).
+  size_t numBlocks() const { return ByAddr.size(); }
+
+  /// Free words below \p Limit.
+  uint64_t freeWordsBelow(Addr Limit) const;
+
+  /// Free words within [Start, End).
+  uint64_t freeWordsIn(Addr Start, Addr End) const;
+
+  /// Iteration over (start, end) free blocks in address order.
+  using const_iterator = std::map<Addr, Addr>::const_iterator;
+  const_iterator begin() const { return ByAddr.begin(); }
+  const_iterator end() const { return ByAddr.end(); }
+
+private:
+  void eraseBlock(std::map<Addr, Addr>::iterator It);
+  void addBlock(Addr Start, Addr End);
+
+  /// Size class of a block: floor(log2(size)). Class K holds sizes in
+  /// [2^K, 2^(K+1)).
+  static unsigned classOf(uint64_t Size);
+
+  static constexpr unsigned NumClasses = 61;
+
+  std::map<Addr, Addr> ByAddr;              // start -> end
+  std::set<std::pair<uint64_t, Addr>> BySize; // (size, start); best fit
+  std::set<Addr> Buckets[NumClasses];       // per-class starts (first fit)
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_FREESPACEINDEX_H

@@ -1,0 +1,129 @@
+//===- heap/Heap.cpp - The simulated word-addressed heap -----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pcb;
+
+ObjectId Heap::place(Addr Address, uint64_t Size) {
+  assert(Size != 0 && "zero-size object");
+  assert(Address + Size <= AddrLimit && "placement beyond the address space");
+  Free.reserve(Address, Size);
+
+  ObjectId Id = ObjectId(Objects.size());
+  Objects.push_back(Object{Address, Size, ObjectState::Live});
+  LiveByAddr[Address] = Id;
+
+  Stats.TotalAllocatedWords += Size;
+  Stats.LiveWords += Size;
+  Stats.PeakLiveWords = std::max(Stats.PeakLiveWords, Stats.LiveWords);
+  Stats.HighWaterMark = std::max(Stats.HighWaterMark, Address + Size);
+  ++Stats.NumAllocations;
+  if (OnEvent)
+    OnEvent(HeapEvent::alloc(Id, Address, Size));
+  return Id;
+}
+
+void Heap::free(ObjectId Id) {
+  assert(isLive(Id) && "freeing a dead or unknown object");
+  Object &O = Objects[Id];
+  Free.release(O.Address, O.Size);
+  LiveByAddr.erase(O.Address);
+  O.State = ObjectState::Freed;
+  Stats.LiveWords -= O.Size;
+  ++Stats.NumFrees;
+  if (OnEvent)
+    OnEvent(HeapEvent::release(Id, O.Address, O.Size));
+}
+
+void Heap::move(ObjectId Id, Addr NewAddress) {
+  assert(isLive(Id) && "moving a dead or unknown object");
+  Object &O = Objects[Id];
+  assert(NewAddress + O.Size <= AddrLimit && "move beyond the address space");
+  // Vacate first so that sliding moves (target overlapping the source, as
+  // in memmove) are allowed; reserve still asserts the target is free of
+  // every *other* object.
+  Free.release(O.Address, O.Size);
+  Free.reserve(NewAddress, O.Size);
+  LiveByAddr.erase(O.Address);
+  LiveByAddr[NewAddress] = Id;
+  Addr OldAddress = O.Address;
+  O.Address = NewAddress;
+  Stats.MovedWords += O.Size;
+  Stats.HighWaterMark = std::max(Stats.HighWaterMark, NewAddress + O.Size);
+  ++Stats.NumMoves;
+  if (OnEvent)
+    OnEvent(HeapEvent::move(Id, OldAddress, NewAddress, O.Size));
+}
+
+uint64_t Heap::usedWordsIn(Addr Start, uint64_t Size) const {
+  assert(Size != 0 && "empty query range");
+  return Size - Free.freeWordsIn(Start, Start + Size);
+}
+
+bool Heap::checkConsistency() const {
+  uint64_t LiveWords = 0;
+  uint64_t LiveCount = 0;
+  Addr PrevEnd = 0;
+  uint64_t MaxEnd = 0;
+  for (const auto &[Address, Id] : LiveByAddr) {
+    if (Id >= Objects.size())
+      return false;
+    const Object &O = Objects[Id];
+    if (!O.isLive() || O.Address != Address)
+      return false;
+    if (Address < PrevEnd)
+      return false; // overlap with the previous object
+    // Every word of the object must be absent from the free index.
+    if (Free.freeWordsIn(Address, O.end()) != 0)
+      return false;
+    PrevEnd = O.end();
+    MaxEnd = std::max(MaxEnd, uint64_t(O.end()));
+    LiveWords += O.Size;
+    ++LiveCount;
+  }
+  // Every live object appears in the index; no dead object does.
+  uint64_t TableLive = 0;
+  for (const Object &O : Objects)
+    TableLive += O.isLive();
+  if (TableLive != LiveCount)
+    return false;
+  // The free index is the exact complement up to the high-water mark.
+  if (Stats.HighWaterMark != 0 &&
+      Free.freeWordsIn(0, Stats.HighWaterMark) !=
+          Stats.HighWaterMark - LiveWords)
+    return false;
+  return LiveWords == Stats.LiveWords && MaxEnd <= Stats.HighWaterMark;
+}
+
+std::vector<ObjectId> Heap::liveObjects() const {
+  std::vector<ObjectId> Ids;
+  Ids.reserve(LiveByAddr.size());
+  for (const auto &[Address, Id] : LiveByAddr) {
+    (void)Address;
+    Ids.push_back(Id);
+  }
+  return Ids;
+}
+
+std::vector<ObjectId> Heap::liveObjectsIn(Addr Start, uint64_t Size) const {
+  Addr End = Start + Size;
+  std::vector<ObjectId> Ids;
+  auto It = LiveByAddr.upper_bound(Start);
+  // An object starting before the range may still reach into it.
+  if (It != LiveByAddr.begin()) {
+    auto Prev = std::prev(It);
+    if (Objects[Prev->second].end() > Start)
+      Ids.push_back(Prev->second);
+  }
+  for (; It != LiveByAddr.end() && It->first < End; ++It)
+    Ids.push_back(It->second);
+  return Ids;
+}

@@ -1,0 +1,133 @@
+//===- heap/Heap.h - The simulated word-addressed heap ----------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for heap state: the object table, the free
+/// space, and the footprint accounting. Memory managers are policies on
+/// top of this model; they decide *where* to place or move objects, the
+/// Heap validates and records it.
+///
+/// Footprint semantics follow the paper: the heap is the smallest
+/// consecutive address prefix the manager ever touches, so the heap size
+/// HS(A, P) is the historical maximum of (highest used address + 1). Once
+/// a word has been used it counts forever (Section 4: "the chunk that it
+/// did occupy will remain part of the heap forever").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_HEAP_H
+#define PCBOUND_HEAP_HEAP_H
+
+#include "heap/FreeSpaceIndex.h"
+#include "heap/HeapEvent.h"
+#include "heap/HeapTypes.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace pcb {
+
+/// Aggregate statistics the heap maintains as the execution proceeds.
+struct HeapStats {
+  /// Historical maximum of (highest used address + 1) — HS(A, P).
+  uint64_t HighWaterMark = 0;
+  /// Total words ever allocated (the paper's "s", which funds the
+  /// compaction budget s/c).
+  uint64_t TotalAllocatedWords = 0;
+  /// Total words moved by compaction so far (the paper's "q").
+  uint64_t MovedWords = 0;
+  /// Currently live words.
+  uint64_t LiveWords = 0;
+  /// Maximum of LiveWords over time.
+  uint64_t PeakLiveWords = 0;
+  /// Counts of events.
+  uint64_t NumAllocations = 0;
+  uint64_t NumFrees = 0;
+  uint64_t NumMoves = 0;
+};
+
+/// The simulated heap: object table + free-space index + statistics.
+class Heap {
+public:
+  Heap() = default;
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Places a new object of \p Size words at \p Address. The target range
+  /// must be free (asserted). Returns the new object's id.
+  ObjectId place(Addr Address, uint64_t Size);
+
+  /// Frees a live object.
+  void free(ObjectId Id);
+
+  /// Moves a live object to \p NewAddress (target must be free and must
+  /// not overlap the object's current placement). Counts toward
+  /// MovedWords. The caller (memory manager) is responsible for having
+  /// charged its compaction budget.
+  void move(ObjectId Id, Addr NewAddress);
+
+  /// The object with id \p Id (live or freed).
+  const Object &object(ObjectId Id) const {
+    assert(Id < Objects.size() && "object id out of range");
+    return Objects[Id];
+  }
+
+  /// True if \p Id denotes a live object.
+  bool isLive(ObjectId Id) const {
+    return Id < Objects.size() && Objects[Id].isLive();
+  }
+
+  /// Number of object slots ever created (ids are dense in [0, size)).
+  size_t numObjects() const { return Objects.size(); }
+
+  /// Placement queries over the free space.
+  const FreeSpaceIndex &freeSpace() const { return Free; }
+
+  /// Live words occupying [Start, Start + Size).
+  uint64_t usedWordsIn(Addr Start, uint64_t Size) const;
+
+  /// True if [Start, Start + Size) contains no live object words.
+  bool isFree(Addr Start, uint64_t Size) const {
+    return Free.isFree(Start, Size);
+  }
+
+  const HeapStats &stats() const { return Stats; }
+
+  /// Installs an observer invoked after every place/free/move. Pass an
+  /// empty function to detach. The observer must not mutate the heap.
+  void setEventCallback(std::function<void(const HeapEvent &)> Callback) {
+    OnEvent = std::move(Callback);
+  }
+
+  /// Full structural self-check: live objects are disjoint, the free
+  /// index is exactly their complement, the live-by-address index agrees,
+  /// and the statistics match a recount. O(objects + free blocks); meant
+  /// for tests.
+  bool checkConsistency() const;
+
+  /// Ids of all live objects, in address order. O(live objects).
+  std::vector<ObjectId> liveObjects() const;
+
+  /// Ids of live objects intersecting [Start, Start + Size), in address
+  /// order. O(log live + matches).
+  std::vector<ObjectId> liveObjectsIn(Addr Start, uint64_t Size) const;
+
+private:
+  std::vector<Object> Objects;
+  FreeSpaceIndex Free;
+  /// Live objects ordered by current address, for range queries.
+  std::map<Addr, ObjectId> LiveByAddr;
+  HeapStats Stats;
+  std::function<void(const HeapEvent &)> OnEvent;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_HEAP_H

@@ -1,0 +1,49 @@
+//===- heap/HeapEvent.h - Heap mutation events ------------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary of heap mutations. The Heap emits one event per
+/// place/free/move through an optional observer callback; the driver adds
+/// StepEnd markers between program steps. Auditors replay event streams
+/// to re-derive statistics independently of the heap's own counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_HEAPEVENT_H
+#define PCBOUND_HEAP_HEAPEVENT_H
+
+#include "heap/HeapTypes.h"
+
+#include <cstdint>
+
+namespace pcb {
+
+/// One mutation of the heap, or a step boundary marker.
+struct HeapEvent {
+  enum class Kind : uint8_t { Alloc, Free, Move, StepEnd };
+
+  Kind Event = Kind::StepEnd;
+  ObjectId Id = InvalidObjectId;
+  Addr Address = InvalidAddr; ///< placement (Alloc/Free) or target (Move)
+  Addr From = InvalidAddr;    ///< source address (Move only)
+  uint64_t Size = 0;
+
+  static HeapEvent alloc(ObjectId Id, Addr A, uint64_t Size) {
+    return HeapEvent{Kind::Alloc, Id, A, InvalidAddr, Size};
+  }
+  static HeapEvent release(ObjectId Id, Addr A, uint64_t Size) {
+    return HeapEvent{Kind::Free, Id, A, InvalidAddr, Size};
+  }
+  static HeapEvent move(ObjectId Id, Addr From, Addr To, uint64_t Size) {
+    return HeapEvent{Kind::Move, Id, To, From, Size};
+  }
+  static HeapEvent stepEnd() { return HeapEvent{}; }
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_HEAPEVENT_H

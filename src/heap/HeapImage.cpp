@@ -1,0 +1,35 @@
+//===- heap/HeapImage.cpp - ASCII rendering of heap occupancy ------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/HeapImage.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace pcb;
+
+std::string pcb::renderHeapImage(const Heap &H, Addr End, unsigned MaxColumns,
+                                 unsigned MaxLines) {
+  if (End == 0)
+    return "(empty heap)";
+  uint64_t MaxCells = uint64_t(MaxColumns) * MaxLines;
+  uint64_t WordsPerCell = ceilDiv(End, MaxCells);
+  uint64_t NumCells = ceilDiv(End, WordsPerCell);
+
+  std::string Out;
+  for (uint64_t Cell = 0; Cell != NumCells; ++Cell) {
+    Addr Start = Cell * WordsPerCell;
+    uint64_t Span = std::min<uint64_t>(WordsPerCell, End - Start);
+    uint64_t Used = H.usedWordsIn(Start, Span);
+    char Glyph = Used == 0 ? '.' : (Used == Span ? '#' : ':');
+    Out += Glyph;
+    if ((Cell + 1) % MaxColumns == 0 && Cell + 1 != NumCells)
+      Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- heap/HeapImage.h - ASCII rendering of heap occupancy -----*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders heap occupancy as ASCII art for the examples and for debugging
+/// adversary behaviour: one character per bucket of words, '#' for fully
+/// used, '.' for fully free, ':' for mixed buckets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_HEAPIMAGE_H
+#define PCBOUND_HEAP_HEAPIMAGE_H
+
+#include "heap/Heap.h"
+
+#include <string>
+
+namespace pcb {
+
+/// Renders the occupancy of [0, \p End) of \p H as at most \p MaxColumns
+/// characters per line, \p MaxLines lines. Returns a newline-joined block.
+std::string renderHeapImage(const Heap &H, Addr End, unsigned MaxColumns = 64,
+                            unsigned MaxLines = 8);
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_HEAPIMAGE_H

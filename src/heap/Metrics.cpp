@@ -1,0 +1,34 @@
+//===- heap/Metrics.cpp - Fragmentation metrics --------------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Metrics.h"
+
+#include <algorithm>
+
+using namespace pcb;
+
+FragmentationMetrics pcb::measureFragmentation(const Heap &H) {
+  FragmentationMetrics M;
+  M.FootprintWords = H.stats().HighWaterMark;
+  M.LiveWords = H.stats().LiveWords;
+  if (M.FootprintWords == 0)
+    return M;
+
+  for (const auto &[Start, End] : H.freeSpace()) {
+    if (Start >= M.FootprintWords)
+      break;
+    uint64_t Span = std::min(End, M.FootprintWords) - Start;
+    M.FreeWords += Span;
+    M.LargestFreeBlock = std::max(M.LargestFreeBlock, Span);
+    ++M.FreeBlocks;
+  }
+  M.Utilization = double(M.LiveWords) / double(M.FootprintWords);
+  if (M.FreeWords != 0)
+    M.ExternalFragmentation =
+        1.0 - double(M.LargestFreeBlock) / double(M.FreeWords);
+  return M;
+}

@@ -1,0 +1,43 @@
+//===- heap/Metrics.h - Fragmentation metrics -------------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point-in-time fragmentation metrics of a heap: how much of the
+/// footprint is live, how the free space below the high-water mark is
+/// shattered, and the classic external-fragmentation ratio
+/// (1 - largest free block / total free space). The examples and the E6
+/// bench use these to show *why* a footprint grew, not only that it did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_METRICS_H
+#define PCBOUND_HEAP_METRICS_H
+
+#include "heap/Heap.h"
+
+#include <cstdint>
+
+namespace pcb {
+
+/// A snapshot of fragmentation state, all relative to the high-water
+/// mark (the heap the manager has committed to).
+struct FragmentationMetrics {
+  uint64_t FootprintWords = 0;      ///< the high-water mark
+  uint64_t LiveWords = 0;           ///< currently allocated
+  uint64_t FreeWords = 0;           ///< free words below the mark
+  uint64_t FreeBlocks = 0;          ///< maximal free runs below the mark
+  uint64_t LargestFreeBlock = 0;    ///< largest free run below the mark
+  double Utilization = 1.0;         ///< live / footprint
+  double ExternalFragmentation = 0; ///< 1 - largest / free
+};
+
+/// Measures \p H now. O(number of free blocks).
+FragmentationMetrics measureFragmentation(const Heap &H);
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_METRICS_H

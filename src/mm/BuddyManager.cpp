@@ -1,0 +1,75 @@
+//===- mm/BuddyManager.cpp - Binary buddy allocation ---------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/BuddyManager.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+Addr BuddyManager::takeBlock(unsigned Order) {
+  assert(Order <= MaxOrder && "request beyond the maximum buddy order");
+  unsigned Found = Order;
+  while (Found <= MaxOrder && FreeLists[Found].empty())
+    ++Found;
+  if (Found > MaxOrder) {
+    // Carve a fresh block, aligned to its own size, at the frontier.
+    Addr A = alignUp(Frontier, pow2(Order));
+    Frontier = A + pow2(Order);
+    return A;
+  }
+  Addr A = *FreeLists[Found].begin();
+  FreeLists[Found].erase(FreeLists[Found].begin());
+  // Split down to the requested order, returning upper halves.
+  while (Found > Order) {
+    --Found;
+    FreeLists[Found].insert(A + pow2(Found));
+  }
+  return A;
+}
+
+void BuddyManager::releaseBlock(Addr A, unsigned Order) {
+  while (Order < MaxOrder) {
+    Addr Buddy = A ^ pow2(Order);
+    auto It = FreeLists[Order].find(Buddy);
+    if (It == FreeLists[Order].end())
+      break;
+    FreeLists[Order].erase(It);
+    A = A < Buddy ? A : Buddy;
+    ++Order;
+  }
+  FreeLists[Order].insert(A);
+}
+
+Addr BuddyManager::placeFor(uint64_t Size) {
+  unsigned Order = log2Ceil(Size);
+  Addr A = takeBlock(Order);
+  PendingBlock = A;
+  PendingOrder = Order;
+  return A;
+}
+
+void BuddyManager::onPlaced(ObjectId Id) {
+  assert(PendingBlock != InvalidAddr &&
+         "buddy manager does not move objects");
+  const Object &O = heap().object(Id);
+  assert(O.Address == PendingBlock && "placement does not match its block");
+  Blocks[Id] = {PendingBlock, PendingOrder};
+  PaddingWords += pow2(PendingOrder) - O.Size;
+  PendingBlock = InvalidAddr;
+}
+
+void BuddyManager::onFreeing(ObjectId Id) {
+  auto It = Blocks.find(Id);
+  assert(It != Blocks.end() && "freeing an object without a buddy block");
+  const Object &O = heap().object(Id);
+  PaddingWords -= pow2(It->second.second) - O.Size;
+  releaseBlock(It->second.first, It->second.second);
+  Blocks.erase(It);
+}

@@ -1,0 +1,53 @@
+//===- mm/BumpCompactor.cpp - The (c+1)M collector of POPL 2011 ----------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/BumpCompactor.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace pcb;
+
+Addr BumpCompactor::compact() {
+  // Live objects arrive in address order; packing them downward in that
+  // order never collides (the Lisp-2 invariant).
+  Addr Target = 0;
+  for (ObjectId Id : heap().liveObjects()) {
+    const Object &O = heap().object(Id);
+    if (O.Address != Target) {
+      [[maybe_unused]] bool Moved = tryMoveObject(Id, Target);
+      assert(Moved && "the c*M period must fund a full compaction");
+      // The program may free the object in response to the move (the
+      // adversaries do); its packed span is only consumed if it stayed.
+    }
+    if (heap().isLive(Id))
+      Target += O.Size;
+  }
+  ++NumCompactions;
+  return Target;
+}
+
+Addr BumpCompactor::placeFor(uint64_t Size) {
+  double C = ledger().quotaDenominator();
+  // One full compaction per c * M allocated words; with an unlimited
+  // ledger, compact every M words (a reasonable full-compaction cadence).
+  uint64_t Period =
+      C <= 0.0 ? LiveBound : uint64_t(C * double(LiveBound));
+  if (AllocatedSinceCompaction >= Period && heap().stats().LiveWords > 0) {
+    Bump = compact();
+    AllocatedSinceCompaction = 0;
+  }
+  // Fresh allocation always goes to the bump frontier; space freed
+  // behind it is reclaimed only by the next compaction, exactly as in
+  // the POPL 2011 construction. Every object ever placed lies below
+  // Bump, so the frontier itself is always free.
+  Addr A = Bump;
+  assert(heap().isFree(A, Size) && "bump frontier is occupied");
+  Bump = A + Size;
+  AllocatedSinceCompaction += Size;
+  return A;
+}

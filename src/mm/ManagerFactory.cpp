@@ -1,0 +1,71 @@
+//===- mm/ManagerFactory.cpp - Managers by name ---------------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/ManagerFactory.h"
+
+#include "mm/BuddyManager.h"
+#include "mm/BumpCompactor.h"
+#include "mm/EvacuatingCompactor.h"
+#include "mm/HybridManager.h"
+#include "mm/PagedSpaceManager.h"
+#include "mm/SegregatedFitManager.h"
+#include "mm/SequentialFitManagers.h"
+#include "mm/SlidingCompactor.h"
+
+using namespace pcb;
+
+std::unique_ptr<MemoryManager> pcb::createManager(const std::string &Policy,
+                                                  Heap &H, double C,
+                                                  uint64_t LiveBound) {
+  if (Policy == "first-fit")
+    return std::make_unique<FirstFitManager>(H, C);
+  if (Policy == "best-fit")
+    return std::make_unique<BestFitManager>(H, C);
+  if (Policy == "next-fit")
+    return std::make_unique<NextFitManager>(H, C);
+  if (Policy == "worst-fit")
+    return std::make_unique<WorstFitManager>(H, C);
+  if (Policy == "aligned-fit")
+    return std::make_unique<AlignedFitManager>(H, C);
+  if (Policy == "buddy")
+    return std::make_unique<BuddyManager>(H, C);
+  if (Policy == "segregated-fit")
+    return std::make_unique<SegregatedFitManager>(H, C);
+  if (Policy == "paged-space")
+    return std::make_unique<PagedSpaceManager>(H, C);
+  if (Policy == "evacuating")
+    return std::make_unique<EvacuatingCompactor>(H, C);
+  if (Policy == "hybrid")
+    return std::make_unique<HybridManager>(H, C);
+  if (Policy == "sliding")
+    return std::make_unique<SlidingCompactor>(H, C);
+  if (Policy == "sliding-unlimited")
+    return std::make_unique<SlidingCompactor>(H, /*C=*/0.0);
+  if (Policy == "bump-compactor")
+    return LiveBound == 0
+               ? nullptr
+               : std::make_unique<BumpCompactor>(H, C, LiveBound);
+  return nullptr;
+}
+
+std::vector<std::string> pcb::allManagerPolicies() {
+  return {"first-fit",      "best-fit",       "next-fit",
+          "worst-fit",      "aligned-fit",    "buddy",
+          "segregated-fit", "evacuating",     "hybrid",
+          "paged-space",    "sliding",        "sliding-unlimited",
+          "bump-compactor"};
+}
+
+std::vector<std::string> pcb::nonMovingManagerPolicies() {
+  return {"first-fit",   "best-fit", "next-fit",      "worst-fit",
+          "aligned-fit", "buddy",    "segregated-fit"};
+}
+
+std::vector<std::string> pcb::compactingManagerPolicies() {
+  return {"evacuating", "hybrid", "paged-space", "sliding",
+          "bump-compactor"};
+}

@@ -1,0 +1,47 @@
+//===- mm/ManagerFactory.h - Managers by name -------------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates memory managers by policy name so benches, examples and tests
+/// can sweep over the whole family uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_MM_MANAGERFACTORY_H
+#define PCBOUND_MM_MANAGERFACTORY_H
+
+#include "mm/MemoryManager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// Creates the manager named \p Policy over \p H with compaction quota
+/// \p C. Returns nullptr for unknown names. Known names:
+/// "first-fit", "best-fit", "next-fit", "worst-fit", "aligned-fit",
+/// "buddy", "segregated-fit", "evacuating", "hybrid", "sliding",
+/// "sliding-unlimited" (ignores C; the non-c-partial ideal),
+/// "bump-compactor" (requires \p LiveBound, the program's M — its
+/// compaction period is c * LiveBound).
+std::unique_ptr<MemoryManager> createManager(const std::string &Policy,
+                                             Heap &H, double C,
+                                             uint64_t LiveBound = 0);
+
+/// All policy names createManager accepts.
+std::vector<std::string> allManagerPolicies();
+
+/// The non-moving subset (the managers Robson's bounds apply to).
+std::vector<std::string> nonMovingManagerPolicies();
+
+/// The c-partial compacting subset.
+std::vector<std::string> compactingManagerPolicies();
+
+} // namespace pcb
+
+#endif // PCBOUND_MM_MANAGERFACTORY_H

@@ -1,0 +1,48 @@
+//===- mm/MemoryManager.cpp - Manager interface and move plumbing --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/MemoryManager.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+MemoryManager::~MemoryManager() = default;
+
+ObjectId MemoryManager::allocate(uint64_t Size) {
+  assert(Size != 0 && "allocating zero words");
+  Addr Address = placeFor(Size);
+  assert(TheHeap.isFree(Address, Size) &&
+         "policy chose a non-free placement");
+  ObjectId Id = TheHeap.place(Address, Size);
+  onPlaced(Id);
+  return Id;
+}
+
+void MemoryManager::free(ObjectId Id) {
+  assert(TheHeap.isLive(Id) && "freeing a dead or unknown object");
+  onFreeing(Id);
+  TheHeap.free(Id);
+}
+
+bool MemoryManager::tryMoveObject(ObjectId Id, Addr To) {
+  assert(TheHeap.isLive(Id) && "moving a dead or unknown object");
+  const Object &O = TheHeap.object(Id);
+  if (!Ledger.canMove(O.Size))
+    return false;
+  Addr From = O.Address;
+  // The policy's metadata must follow the object across the move; let the
+  // subclass drop and re-add it around the heap-level move.
+  onFreeing(Id);
+  TheHeap.move(Id, To);
+  onPlaced(Id);
+  if (OnMove && OnMove(Id, From, To)) {
+    // The program chose to de-allocate the moved object immediately.
+    free(Id);
+  }
+  return true;
+}

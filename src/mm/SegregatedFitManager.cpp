@@ -1,0 +1,44 @@
+//===- mm/SegregatedFitManager.cpp - Per-size-class allocation -----------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/SegregatedFitManager.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+Addr SegregatedFitManager::placeFor(uint64_t Size) {
+  unsigned Class = log2Ceil(Size);
+  assert(Class <= MaxClass && "request beyond the maximum size class");
+  Addr A;
+  if (!FreeSlots[Class].empty()) {
+    A = *FreeSlots[Class].begin();
+    FreeSlots[Class].erase(FreeSlots[Class].begin());
+  } else {
+    A = alignUp(Frontier, pow2(Class));
+    Frontier = A + pow2(Class);
+  }
+  PendingSlot = A;
+  PendingClass = Class;
+  return A;
+}
+
+void SegregatedFitManager::onPlaced(ObjectId Id) {
+  assert(PendingSlot != InvalidAddr &&
+         "segregated manager does not move objects");
+  Slots[Id] = {PendingSlot, PendingClass};
+  PendingSlot = InvalidAddr;
+}
+
+void SegregatedFitManager::onFreeing(ObjectId Id) {
+  auto It = Slots.find(Id);
+  assert(It != Slots.end() && "freeing an object without a slot");
+  FreeSlots[It->second.second].insert(It->second.first);
+  Slots.erase(It);
+}

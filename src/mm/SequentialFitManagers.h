@@ -1,0 +1,116 @@
+//===- mm/SequentialFitManagers.h - First/best/next/aligned fit -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical non-moving sequential-fit policies. These are the
+/// managers Robson's bounds speak about: they never compact, so against
+/// Robson's bad program they must pay the full
+/// M * (log2(n)/2 + 1) - n + 1 footprint.
+///
+/// AlignedFitManager additionally places every object at an address
+/// aligned to its size rounded up to a power of two — the "aligned
+/// allocation" simplification the paper uses in its overview (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_MM_SEQUENTIALFITMANAGERS_H
+#define PCBOUND_MM_SEQUENTIALFITMANAGERS_H
+
+#include "mm/MemoryManager.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+namespace pcb {
+
+/// Places each object at the lowest address where it fits.
+class FirstFitManager : public MemoryManager {
+public:
+  FirstFitManager(Heap &H, double C) : MemoryManager(H, C) {}
+  std::string name() const override { return "first-fit"; }
+
+protected:
+  Addr placeFor(uint64_t Size) override {
+    return heap().freeSpace().firstFit(Size);
+  }
+};
+
+/// Places each object in the smallest free block that fits.
+class BestFitManager : public MemoryManager {
+public:
+  BestFitManager(Heap &H, double C) : MemoryManager(H, C) {}
+  std::string name() const override { return "best-fit"; }
+
+protected:
+  Addr placeFor(uint64_t Size) override {
+    return heap().freeSpace().bestFit(Size);
+  }
+};
+
+/// First fit starting from a roving cursor (classic next fit).
+class NextFitManager : public MemoryManager {
+public:
+  NextFitManager(Heap &H, double C) : MemoryManager(H, C) {}
+  std::string name() const override { return "next-fit"; }
+
+protected:
+  Addr placeFor(uint64_t Size) override {
+    Addr A = heap().freeSpace().firstFitFrom(Cursor, Size);
+    Cursor = A + Size;
+    return A;
+  }
+
+private:
+  Addr Cursor = 0;
+};
+
+/// Places each object in the *largest* free block (classic worst fit —
+/// the textbook policy that keeps remainders big; included for the
+/// baseline family, and indeed the one Robson's adversary punishes most).
+class WorstFitManager : public MemoryManager {
+public:
+  WorstFitManager(Heap &H, double C) : MemoryManager(H, C) {}
+  std::string name() const override { return "worst-fit"; }
+
+protected:
+  Addr placeFor(uint64_t Size) override {
+    // The largest block is always the infinite tail, which would degrade
+    // worst fit into pure bump allocation; classic worst fit considers
+    // the committed heap, so prefer the largest block strictly below the
+    // high-water mark when one fits.
+    Addr Hwm = heap().stats().HighWaterMark;
+    Addr Best = InvalidAddr;
+    uint64_t BestSize = 0;
+    for (const auto &[Start, End] : heap().freeSpace()) {
+      if (Start >= Hwm)
+        break;
+      uint64_t Span = std::min(End, Hwm) - Start;
+      if (Span >= Size && Span > BestSize) {
+        BestSize = Span;
+        Best = Start;
+      }
+    }
+    return Best != InvalidAddr ? Best : heap().freeSpace().firstFit(Size);
+  }
+};
+
+/// First fit at addresses aligned to the request size rounded up to a
+/// power of two (the paper's aligned-allocation model).
+class AlignedFitManager : public MemoryManager {
+public:
+  AlignedFitManager(Heap &H, double C) : MemoryManager(H, C) {}
+  std::string name() const override { return "aligned-fit"; }
+
+protected:
+  Addr placeFor(uint64_t Size) override {
+    return heap().freeSpace().firstFitAligned(Size, nextPowerOfTwo(Size));
+  }
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_MM_SEQUENTIALFITMANAGERS_H

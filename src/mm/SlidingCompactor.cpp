@@ -1,0 +1,72 @@
+//===- mm/SlidingCompactor.cpp - Sliding (full) compaction ---------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/SlidingCompactor.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace pcb;
+
+Addr SlidingCompactor::placeFor(uint64_t Size) {
+  const FreeSpaceIndex &Free = heap().freeSpace();
+  Addr Hwm = heap().stats().HighWaterMark;
+
+  if (Hwm >= Size) {
+    Addr A = Free.firstFitBelow(Size, Hwm);
+    if (A != InvalidAddr)
+      return A;
+  }
+
+  // Only compact when the free space below the mark could actually absorb
+  // the request afterwards. Every object lies below the mark, so the free
+  // space below it is Hwm minus the live words — O(1) from the stats.
+  uint64_t FreeBelow = Hwm - heap().stats().LiveWords;
+  bool WorthTrying =
+      !HadFruitlessAttempt ||
+      ledger().remainingWords() != LastFruitlessBudget;
+  if (Hwm > 0 && FreeBelow >= Size && WorthTrying) {
+    if (slideAll() > 0) {
+      ++NumCompactions;
+      HadFruitlessAttempt = false;
+      Addr A = Free.firstFitBelow(Size, heap().stats().HighWaterMark);
+      if (A != InvalidAddr)
+        return A;
+    } else {
+      HadFruitlessAttempt = true;
+      LastFruitlessBudget = ledger().remainingWords();
+    }
+  }
+  return Free.firstFit(Size);
+}
+
+uint64_t SlidingCompactor::slideAll() {
+  // Live objects come back in address order; sliding each to the packed
+  // position never collides because predecessors have already moved left.
+  std::vector<ObjectId> Live = heap().liveObjects();
+
+  uint64_t Moved = 0;
+  Addr Target = 0;
+  for (ObjectId Id : Live) {
+    // The program may have freed a previously moved object from under us
+    // (PF does); skip anything no longer live.
+    if (!heap().isLive(Id))
+      continue;
+    const Object &O = heap().object(Id);
+    if (O.Address != Target) {
+      assert(Target < O.Address && "sliding would move an object upward");
+      if (!tryMoveObject(Id, Target))
+        break; // Budget exhausted; stop compacting.
+      ++Moved;
+    }
+    // Moving may have freed the object (adversary callback); it still
+    // consumed its packed span only if it is still there.
+    if (heap().isLive(Id))
+      Target += O.Size;
+  }
+  return Moved;
+}

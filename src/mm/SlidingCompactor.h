@@ -1,0 +1,57 @@
+//===- mm/SlidingCompactor.h - Sliding (full) compaction --------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sliding mark-compact style manager: when no hole below the
+/// high-water mark fits a request, it slides every live object toward
+/// address zero (in address order, preserving relative order — the
+/// classic Lisp-2 invariant) and retries. With an unlimited budget
+/// (C <= 0) this is the paper's "full compaction after each
+/// de-allocation" ideal whose overhead factor is 1 — the reference point
+/// the lower bound proves unreachable for any c-partial manager. With a
+/// finite C it degrades into a best-effort c-partial slider that stops
+/// when the ledger runs dry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_MM_SLIDINGCOMPACTOR_H
+#define PCBOUND_MM_SLIDINGCOMPACTOR_H
+
+#include "mm/MemoryManager.h"
+
+namespace pcb {
+
+/// First fit plus whole-heap sliding compaction when fragmented.
+class SlidingCompactor : public MemoryManager {
+public:
+  SlidingCompactor(Heap &H, double C) : MemoryManager(H, C) {}
+
+  std::string name() const override {
+    return ledger().isUnlimited() ? "sliding-unlimited" : "sliding";
+  }
+
+  /// Number of whole-heap compaction passes performed.
+  uint64_t numCompactions() const { return NumCompactions; }
+
+protected:
+  Addr placeFor(uint64_t Size) override;
+
+private:
+  /// Slides live objects toward zero while the budget allows. Returns the
+  /// number of objects moved.
+  uint64_t slideAll();
+
+  uint64_t NumCompactions = 0;
+  /// Remaining budget at the last fruitless compaction attempt; retrying
+  /// before new budget accrues (1 word per c allocated) is pointless.
+  uint64_t LastFruitlessBudget = 0;
+  bool HadFruitlessAttempt = false;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_MM_SLIDINGCOMPACTOR_H

@@ -1,0 +1,92 @@
+//===- support/AsciiChart.cpp - Terminal line charts ----------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+using namespace pcb;
+
+void AsciiChart::print(std::ostream &OS) const {
+  unsigned W = std::max(8u, Opts.Width);
+  unsigned H = std::max(4u, Opts.Height);
+
+  // Establish the Y range.
+  double Lo = Opts.YMin, Hi = Opts.YMax;
+  if (Lo == Hi) {
+    Lo = 0.0;
+    Hi = 1.0;
+    bool Any = false;
+    for (const ChartSeries &S : AllSeries)
+      for (double V : S.Y) {
+        if (std::isnan(V))
+          continue;
+        if (!Any) {
+          Lo = Hi = V;
+          Any = true;
+        } else {
+          Lo = std::min(Lo, V);
+          Hi = std::max(Hi, V);
+        }
+      }
+    if (Hi == Lo)
+      Hi = Lo + 1.0;
+    double Pad = 0.05 * (Hi - Lo);
+    Lo -= Pad;
+    Hi += Pad;
+  }
+
+  // Paint the grid.
+  std::vector<std::string> Grid(H, std::string(W, ' '));
+  for (const ChartSeries &S : AllSeries) {
+    if (S.Y.empty())
+      continue;
+    for (unsigned Col = 0; Col != W; ++Col) {
+      // Sample the series at this column (nearest point).
+      double T = S.Y.size() == 1
+                     ? 0.0
+                     : double(Col) * double(S.Y.size() - 1) / double(W - 1);
+      double V = S.Y[size_t(std::llround(T))];
+      if (std::isnan(V))
+        continue;
+      double Frac = (V - Lo) / (Hi - Lo);
+      if (Frac < 0.0 || Frac > 1.0)
+        continue;
+      unsigned Row = unsigned(std::llround((1.0 - Frac) * (H - 1)));
+      Grid[Row][Col] = S.Glyph;
+    }
+  }
+
+  // Emit with Y labels on the left, an axis and the legend.
+  if (!Opts.YLabel.empty())
+    OS << Opts.YLabel << '\n';
+  for (unsigned Row = 0; Row != H; ++Row) {
+    double V = Hi - (Hi - Lo) * double(Row) / double(H - 1);
+    std::string Label = formatDouble(V, 2);
+    for (size_t Pad = Label.size(); Pad < 8; ++Pad)
+      OS << ' ';
+    OS << Label << " |" << Grid[Row] << '\n';
+  }
+  OS << std::string(8, ' ') << " +" << std::string(W, '-') << '\n';
+  std::string XAxis = formatDouble(XMin, 0);
+  std::string XEnd = formatDouble(XMax, 0);
+  OS << std::string(10, ' ') << XAxis
+     << std::string(W > XAxis.size() + XEnd.size()
+                        ? W - XAxis.size() - XEnd.size()
+                        : 1,
+                    ' ')
+     << XEnd;
+  if (!Opts.XLabel.empty())
+    OS << "  (" << Opts.XLabel << ")";
+  OS << '\n';
+  for (const ChartSeries &S : AllSeries)
+    OS << std::string(10, ' ') << S.Glyph << " = " << S.Name << '\n';
+}

@@ -1,0 +1,67 @@
+//===- support/AsciiChart.h - Terminal line charts --------------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small multi-series line-chart renderer for terminals, so the figure
+/// benches can draw the paper's plots and not just their tables. Series
+/// are sampled onto a character grid; each series gets a glyph, the Y
+/// axis is labelled with real values, and a legend is appended.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_SUPPORT_ASCIICHART_H
+#define PCBOUND_SUPPORT_ASCIICHART_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// One plotted series: a name, a glyph and y-values over the shared
+/// x-grid (NaN values leave gaps).
+struct ChartSeries {
+  std::string Name;
+  char Glyph = '*';
+  std::vector<double> Y;
+};
+
+/// A multi-series line chart over a shared, evenly spaced x axis.
+class AsciiChart {
+public:
+  struct Options {
+    unsigned Width = 64;    ///< plot columns (excluding the Y labels)
+    unsigned Height = 16;   ///< plot rows
+    double YMin = 0.0;      ///< Y range; YMin == YMax means auto-scale
+    double YMax = 0.0;
+    std::string XLabel;
+    std::string YLabel;
+  };
+
+  AsciiChart(double XMin, double XMax) : XMin(XMin), XMax(XMax) {}
+  AsciiChart(double XMin, double XMax, const Options &Opts)
+      : XMin(XMin), XMax(XMax), Opts(Opts) {}
+
+  /// Adds a series. Y values are positioned at evenly spaced x
+  /// coordinates spanning [XMin, XMax].
+  void addSeries(ChartSeries Series) {
+    AllSeries.push_back(std::move(Series));
+  }
+
+  /// Renders the chart with axes and legend.
+  void print(std::ostream &OS) const;
+
+private:
+  double XMin;
+  double XMax;
+  Options Opts;
+  std::vector<ChartSeries> AllSeries;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_SUPPORT_ASCIICHART_H

@@ -1,0 +1,58 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64 seeding a xoshiro256** state) used
+/// by the non-adversarial workloads and the property tests. We avoid
+/// <random> so that sequences are reproducible across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_SUPPORT_RANDOM_H
+#define PCBOUND_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pcb {
+
+/// Deterministic xoshiro256** generator with SplitMix64 seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-seeds the generator deterministically from \p Seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t next();
+
+  /// Returns a uniform value in [0, \p Bound). \p Bound must be nonzero.
+  /// Uses rejection sampling, so the result is exactly uniform.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform value in [\p Lo, \p Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_SUPPORT_RANDOM_H

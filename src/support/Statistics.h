@@ -1,0 +1,56 @@
+//===- support/Statistics.h - Streaming summary statistics ------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming accumulator (Welford's algorithm) for the benches that
+/// average stochastic workloads over seeds: count, mean, min, max and
+/// sample standard deviation without storing the samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_SUPPORT_STATISTICS_H
+#define PCBOUND_SUPPORT_STATISTICS_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pcb {
+
+/// Streaming mean / min / max / stddev accumulator.
+class RunningStat {
+public:
+  void add(double Sample) {
+    ++N;
+    double Delta = Sample - Mean;
+    Mean += Delta / double(N);
+    M2 += Delta * (Sample - Mean);
+    Lo = Sample < Lo ? Sample : Lo;
+    Hi = Sample > Hi ? Sample : Hi;
+  }
+
+  uint64_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+  double min() const { return N == 0 ? 0.0 : Lo; }
+  double max() const { return N == 0 ? 0.0 : Hi; }
+
+  /// Sample standard deviation (0 for fewer than two samples).
+  double stddev() const {
+    return N < 2 ? 0.0 : std::sqrt(M2 / double(N - 1));
+  }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Lo = std::numeric_limits<double>::infinity();
+  double Hi = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_SUPPORT_STATISTICS_H

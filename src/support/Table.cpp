@@ -1,0 +1,109 @@
+//===- support/Table.cpp - Column-aligned and CSV table output -----------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace pcb;
+
+std::string pcb::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return std::string(Buf);
+}
+
+std::string pcb::formatWords(uint64_t Words) {
+  static const char *Suffix[] = {"", "K", "M", "G", "T"};
+  unsigned Unit = 0;
+  uint64_t Value = Words;
+  while (Unit < 4 && Value >= 1024 && Value % 1024 == 0) {
+    Value /= 1024;
+    ++Unit;
+  }
+  return std::to_string(Value) + Suffix[Unit];
+}
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::beginRow() { Rows.emplace_back(); }
+
+void Table::addCell(std::string Cell) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  Rows.back().push_back(std::move(Cell));
+}
+
+void Table::addCell(uint64_t Value) { addCell(std::to_string(Value)); }
+
+void Table::addCell(int64_t Value) { addCell(std::to_string(Value)); }
+
+void Table::addCell(double Value, int Precision) {
+  addCell(formatDouble(Value, Precision));
+}
+
+void Table::printAligned(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t I = 0; I != Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I >= Width.size())
+        Width.resize(I + 1, 0);
+      if (Row[I].size() > Width[I])
+        Width[I] = Row[I].size();
+    }
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Width.size(); ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      OS << (I == 0 ? "" : "  ");
+      for (size_t Pad = Cell.size(); Pad < Width[I]; ++Pad)
+        OS << ' ';
+      OS << Cell;
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  std::vector<std::string> Rule;
+  Rule.reserve(Width.size());
+  for (size_t W : Width)
+    Rule.push_back(std::string(W, '-'));
+  PrintRow(Rule);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+static void printCsvCell(std::ostream &OS, const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos) {
+    OS << Cell;
+    return;
+  }
+  OS << '"';
+  for (char C : Cell) {
+    if (C == '"')
+      OS << '"';
+    OS << C;
+  }
+  OS << '"';
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        OS << ',';
+      printCsvCell(OS, Row[I]);
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,67 @@
+//===- support/Table.h - Column-aligned and CSV table output ----*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small table builder used by the benches and examples to print the
+/// paper's figures as aligned text and as CSV series. Cells are stored as
+/// strings; numeric helpers format with a fixed precision so figure output
+/// is stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_SUPPORT_TABLE_H
+#define PCBOUND_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// Accumulates rows of string cells and renders them column-aligned or as
+/// CSV. Rows may be ragged; missing cells render empty.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new, empty row.
+  void beginRow();
+
+  /// Appends one cell to the current row.
+  void addCell(std::string Cell);
+  void addCell(uint64_t Value);
+  void addCell(int64_t Value);
+  /// Formats \p Value with \p Precision digits after the decimal point.
+  void addCell(double Value, int Precision = 4);
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table with space-padded, right-aligned columns.
+  void printAligned(std::ostream &OS) const;
+
+  /// Renders the table as RFC-4180-ish CSV (quotes cells containing
+  /// commas or quotes).
+  void printCsv(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Precision fraction digits (no locale).
+std::string formatDouble(double Value, int Precision);
+
+/// Renders a word count in a human-friendly unit assuming 1 word = 1 byte
+/// of the paper's scale, e.g. 268435456 -> "256M".
+std::string formatWords(uint64_t Words);
+
+} // namespace pcb
+
+#endif // PCBOUND_SUPPORT_TABLE_H

@@ -1,0 +1,175 @@
+//===- tests/driver_test.cpp - Unit tests for src/driver -----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/SyntheticWorkloads.h"
+#include "driver/Execution.h"
+#include "mm/SequentialFitManagers.h"
+#include "mm/SlidingCompactor.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcb;
+
+namespace {
+
+/// A program scripted in-line for driver tests.
+class LambdaProgram : public Program {
+public:
+  using StepFn = std::function<bool(MutatorContext &)>;
+  explicit LambdaProgram(StepFn Fn) : Fn(std::move(Fn)) {}
+  bool step(MutatorContext &Ctx) override { return Fn(Ctx); }
+  std::string name() const override { return "lambda"; }
+
+  bool onObjectMoved(ObjectId, Addr, Addr) override {
+    ++MovesSeen;
+    return FreeOnMove;
+  }
+
+  unsigned MovesSeen = 0;
+  bool FreeOnMove = false;
+
+private:
+  StepFn Fn;
+};
+
+TEST(Execution, RunsToCompletionAndReports) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  int Steps = 0;
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    Ctx.allocate(4);
+    return ++Steps < 5;
+  });
+  Execution E(MM, P, 1024);
+  ExecutionResult R = E.run();
+  EXPECT_EQ(R.Steps, 5u);
+  EXPECT_EQ(R.NumAllocations, 5u);
+  EXPECT_EQ(R.HeapSize, 20u);
+  EXPECT_EQ(R.TotalAllocatedWords, 20u);
+  EXPECT_DOUBLE_EQ(R.wasteFactor(1024), 20.0 / 1024.0);
+}
+
+TEST(Execution, SingleStepping) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  int Steps = 0;
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    Ctx.allocate(1);
+    return ++Steps < 3;
+  });
+  Execution E(MM, P, 64);
+  EXPECT_TRUE(E.runStep());
+  EXPECT_TRUE(E.runStep());
+  EXPECT_FALSE(E.runStep());
+  EXPECT_FALSE(E.runStep()); // idempotent after completion
+  EXPECT_EQ(E.stepsRun(), 3u);
+}
+
+TEST(Execution, MoveNotificationsReachProgram) {
+  Heap H;
+  SlidingCompactor MM(H, 0.0);
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    ObjectId A = Ctx.allocate(6);
+    Ctx.allocate(6);
+    ObjectId C = Ctx.allocate(6);
+    Ctx.allocate(6);
+    Ctx.free(A);
+    Ctx.free(C);
+    // Two 6-word holes; 10 words fit only after a slide.
+    Ctx.allocate(10);
+    return false;
+  });
+  Execution E(MM, P, 64);
+  E.run();
+  EXPECT_GT(P.MovesSeen, 0u);
+}
+
+TEST(Execution, FreeOnMoveIsHonoured) {
+  Heap H;
+  SlidingCompactor MM(H, 0.0);
+  ObjectId Tail = InvalidObjectId;
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    ObjectId A = Ctx.allocate(6);
+    Ctx.allocate(6);
+    ObjectId C = Ctx.allocate(6);
+    Tail = Ctx.allocate(6);
+    Ctx.free(A);
+    Ctx.free(C);
+    Ctx.allocate(10); // slide moves the survivors; program frees them
+    return false;
+  });
+  P.FreeOnMove = true;
+  Execution E(MM, P, 64);
+  E.run();
+  EXPECT_GT(P.MovesSeen, 0u);
+  // Everything the slide touched was freed from under the manager.
+  EXPECT_FALSE(H.isLive(Tail));
+}
+
+TEST(Execution, ObserversSeeEveryStep) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  int Steps = 0;
+  LambdaProgram P([&](MutatorContext &) { return ++Steps < 4; });
+  Execution E(MM, P, 64);
+  int Observed = 0;
+  E.addStepObserver([&](const Execution &Ex) {
+    ++Observed;
+    EXPECT_EQ(Ex.stepsRun(), uint64_t(Observed));
+  });
+  E.run();
+  EXPECT_EQ(Observed, 4);
+}
+
+TEST(Execution, DeepConsistencyChecksRun) {
+  Heap H;
+  SlidingCompactor MM(H, 0.0);
+  RandomChurnProgram::Options POpts;
+  POpts.Steps = 30;
+  POpts.MaxLogSize = 5;
+  RandomChurnProgram P(1024, POpts);
+  Execution::Options Opts;
+  Opts.DeepCheckEvery = 1; // every step, including across compactions
+  Execution E(MM, P, 1024, Opts);
+  ExecutionResult R = E.run();
+  EXPECT_EQ(R.Steps, 30u);
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Execution, HeadroomReflectsLiveBound) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    EXPECT_EQ(Ctx.headroom(), 100u);
+    ObjectId A = Ctx.allocate(30);
+    EXPECT_EQ(Ctx.headroom(), 70u);
+    Ctx.free(A);
+    EXPECT_EQ(Ctx.headroom(), 100u);
+    return false;
+  });
+  Execution E(MM, P, 100);
+  E.run();
+}
+
+TEST(Execution, ResultSnapshotMidRun) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  int Steps = 0;
+  LambdaProgram P([&](MutatorContext &Ctx) {
+    Ctx.allocate(8);
+    return ++Steps < 3;
+  });
+  Execution E(MM, P, 1024);
+  E.runStep();
+  ExecutionResult Mid = E.result();
+  EXPECT_EQ(Mid.Steps, 1u);
+  EXPECT_EQ(Mid.NumAllocations, 1u);
+  E.run();
+  EXPECT_EQ(E.result().NumAllocations, 3u);
+}
+
+} // namespace

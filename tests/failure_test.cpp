@@ -1,0 +1,153 @@
+//===- tests/failure_test.cpp - Failure injection / death tests ----------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// The model's contracts are enforced by assertions that stay enabled in
+// every build type; these tests inject violations and verify the process
+// dies with the intended diagnostic rather than corrupting state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/CohenPetrankProgram.h"
+#include "adversary/SyntheticWorkloads.h"
+#include "driver/Execution.h"
+#include "heap/Heap.h"
+#include "mm/SequentialFitManagers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcb;
+
+namespace {
+
+TEST(FailureInjection, DoubleFreeDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        ObjectId A = H.place(0, 4);
+        H.free(A);
+        H.free(A);
+      },
+      "freeing a dead or unknown object");
+}
+
+TEST(FailureInjection, OverlappingPlacementDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        H.place(0, 8);
+        H.place(4, 8);
+      },
+      "reserve target");
+}
+
+TEST(FailureInjection, MoveOntoLiveObjectDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        ObjectId A = H.place(0, 4);
+        H.place(8, 4);
+        H.move(A, 8);
+      },
+      "reserve target");
+}
+
+TEST(FailureInjection, MoveOfDeadObjectDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        ObjectId A = H.place(0, 4);
+        H.free(A);
+        H.move(A, 8);
+      },
+      "moving a dead or unknown object");
+}
+
+TEST(FailureInjection, ZeroSizeAllocationDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        FirstFitManager MM(H, 10.0);
+        MM.allocate(0);
+      },
+      "zero");
+}
+
+/// A program that ignores its live bound.
+class GreedyProgram : public Program {
+public:
+  bool step(MutatorContext &Ctx) override {
+    for (;;)
+      Ctx.allocate(1024);
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+/// A program that never finishes (but stays within its live bound).
+class EndlessProgram : public Program {
+public:
+  bool step(MutatorContext &Ctx) override {
+    ObjectId Id = Ctx.allocate(1);
+    Ctx.free(Id);
+    return true;
+  }
+  std::string name() const override { return "endless"; }
+};
+
+TEST(FailureInjection, RunawayProgramHitsStepLimit) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        FirstFitManager MM(H, 10.0);
+        EndlessProgram P;
+        Execution::Options Opts;
+        Opts.MaxSteps = 16;
+        Execution E(MM, P, 1024, Opts);
+        E.run();
+      },
+      "step limit");
+}
+
+TEST(FailureInjection, ProgramExceedingLiveBoundDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        FirstFitManager MM(H, 10.0);
+        GreedyProgram P;
+        Execution E(MM, P, /*M=*/4096);
+        E.run();
+      },
+      "live bound");
+}
+
+void runTrace(std::vector<TraceOp> Trace) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  TraceReplayProgram P(std::move(Trace));
+  Execution E(MM, P, 1024);
+  E.run();
+}
+
+TEST(FailureInjection, TraceFreeingUnknownAllocationDies) {
+  std::vector<TraceOp> Trace = {TraceOp::alloc(4), TraceOp::release(7)};
+  EXPECT_DEATH(runTrace(Trace), "unknown allocation");
+}
+
+TEST(FailureInjection, TraceDoubleFreeDies) {
+  std::vector<TraceOp> Trace = {TraceOp::alloc(4), TraceOp::release(0),
+                                TraceOp::release(0)};
+  EXPECT_DEATH(runTrace(Trace), "dead object");
+}
+
+TEST(FailureInjection, InadmissibleSigmaOverrideDies) {
+  EXPECT_DEATH(
+      {
+        CohenPetrankProgram::Options Opts;
+        Opts.SigmaOverride = 40; // far beyond log2(3c/4)
+        CohenPetrankProgram PF(1 << 14, 1 << 8, 20.0, Opts);
+      },
+      "inadmissible");
+}
+
+} // namespace

@@ -1,0 +1,488 @@
+//===- tests/heap_test.cpp - Unit tests for src/heap ---------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/ChunkView.h"
+#include "heap/FreeSpaceIndex.h"
+#include "heap/Heap.h"
+#include "heap/HeapImage.h"
+#include "heap/IntervalSet.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pcb;
+
+namespace {
+
+// --- IntervalSet ---------------------------------------------------------
+
+TEST(IntervalSet, InsertAndQuery) {
+  IntervalSet S;
+  S.insert(10, 20);
+  EXPECT_TRUE(S.containsRange(10, 20));
+  EXPECT_TRUE(S.containsRange(12, 15));
+  EXPECT_FALSE(S.containsRange(5, 12));
+  EXPECT_FALSE(S.containsRange(15, 25));
+  EXPECT_TRUE(S.overlaps(15, 25));
+  EXPECT_FALSE(S.overlaps(20, 25));
+  EXPECT_FALSE(S.overlaps(0, 10));
+  EXPECT_EQ(S.totalWords(), 10u);
+}
+
+TEST(IntervalSet, CoalescesNeighbours) {
+  IntervalSet S;
+  S.insert(0, 10);
+  S.insert(20, 30);
+  EXPECT_EQ(S.numIntervals(), 2u);
+  S.insert(10, 20); // bridges the two
+  EXPECT_EQ(S.numIntervals(), 1u);
+  EXPECT_TRUE(S.containsRange(0, 30));
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet S;
+  S.insert(0, 30);
+  S.erase(10, 20);
+  EXPECT_EQ(S.numIntervals(), 2u);
+  EXPECT_TRUE(S.containsRange(0, 10));
+  EXPECT_TRUE(S.containsRange(20, 30));
+  EXPECT_FALSE(S.overlaps(10, 20));
+  EXPECT_EQ(S.totalWords(), 20u);
+}
+
+TEST(IntervalSet, EraseAtBoundaries) {
+  IntervalSet S;
+  S.insert(0, 30);
+  S.erase(0, 10);
+  S.erase(20, 30);
+  EXPECT_EQ(S.numIntervals(), 1u);
+  EXPECT_TRUE(S.containsRange(10, 20));
+}
+
+TEST(IntervalSet, CoveredWords) {
+  IntervalSet S;
+  S.insert(0, 10);
+  S.insert(20, 30);
+  EXPECT_EQ(S.coveredWords(0, 30), 20u);
+  EXPECT_EQ(S.coveredWords(5, 25), 10u);
+  EXPECT_EQ(S.coveredWords(10, 20), 0u);
+}
+
+TEST(IntervalSet, IntervalContaining) {
+  IntervalSet S;
+  S.insert(10, 20);
+  auto [A, B] = S.intervalContaining(15);
+  EXPECT_EQ(A, 10u);
+  EXPECT_EQ(B, 20u);
+  auto [C, D] = S.intervalContaining(20);
+  EXPECT_EQ(C, InvalidAddr);
+  EXPECT_EQ(D, InvalidAddr);
+}
+
+TEST(IntervalSet, RandomizedAgainstReference) {
+  // Property test: IntervalSet agrees with a std::set<Addr> reference
+  // model over random insert/erase sequences.
+  Rng R(123);
+  IntervalSet S;
+  std::set<Addr> Ref;
+  const Addr Universe = 256;
+  for (int Op = 0; Op != 2000; ++Op) {
+    Addr Start = R.nextBelow(Universe - 8);
+    Addr End = Start + 1 + R.nextBelow(8);
+    bool AllIn = true, AllOut = true;
+    for (Addr A = Start; A != End; ++A)
+      (Ref.count(A) ? AllOut : AllIn) = false;
+    if (AllOut && R.nextBool(0.6)) {
+      S.insert(Start, End);
+      for (Addr A = Start; A != End; ++A)
+        Ref.insert(A);
+    } else if (AllIn && !Ref.empty() && R.nextBool(0.8)) {
+      S.erase(Start, End);
+      for (Addr A = Start; A != End; ++A)
+        Ref.erase(A);
+    }
+    ASSERT_EQ(S.totalWords(), Ref.size());
+    Addr Probe = R.nextBelow(Universe);
+    ASSERT_EQ(S.contains(Probe), Ref.count(Probe) != 0) << "probe " << Probe;
+  }
+}
+
+// --- FreeSpaceIndex ------------------------------------------------------
+
+TEST(FreeSpaceIndex, StartsFullyFree) {
+  FreeSpaceIndex F;
+  EXPECT_TRUE(F.isFree(0, 1024));
+  EXPECT_EQ(F.firstFit(16), 0u);
+  EXPECT_EQ(F.numBlocks(), 1u);
+}
+
+TEST(FreeSpaceIndex, ReserveReleaseRoundTrip) {
+  FreeSpaceIndex F;
+  F.reserve(0, 16);
+  EXPECT_FALSE(F.isFree(0, 1));
+  EXPECT_EQ(F.firstFit(1), 16u);
+  F.release(0, 16);
+  EXPECT_TRUE(F.isFree(0, 16));
+  EXPECT_EQ(F.numBlocks(), 1u); // coalesced back into the tail
+}
+
+TEST(FreeSpaceIndex, FirstFitSkipsSmallHoles) {
+  FreeSpaceIndex F;
+  F.reserve(0, 100);
+  F.release(10, 4);  // hole of 4
+  F.release(30, 8);  // hole of 8
+  EXPECT_EQ(F.firstFit(4), 10u);
+  EXPECT_EQ(F.firstFit(5), 30u);
+  EXPECT_EQ(F.firstFit(8), 30u);
+  EXPECT_EQ(F.firstFit(9), 100u); // only the tail fits
+}
+
+TEST(FreeSpaceIndex, BestFitPrefersTightHole) {
+  FreeSpaceIndex F;
+  F.reserve(0, 100);
+  F.release(10, 16);
+  F.release(40, 4);
+  EXPECT_EQ(F.bestFit(3), 40u);
+  EXPECT_EQ(F.bestFit(4), 40u);
+  EXPECT_EQ(F.bestFit(5), 10u);
+}
+
+TEST(FreeSpaceIndex, FirstFitFromCursor) {
+  FreeSpaceIndex F;
+  F.reserve(0, 100);
+  F.release(10, 8);
+  F.release(50, 8);
+  EXPECT_EQ(F.firstFitFrom(0, 8), 10u);
+  EXPECT_EQ(F.firstFitFrom(20, 8), 50u);
+  EXPECT_EQ(F.firstFitFrom(60, 8), 100u);
+  // A cursor inside a block uses the block's remainder.
+  EXPECT_EQ(F.firstFitFrom(12, 4), 12u);
+  EXPECT_EQ(F.firstFitFrom(12, 6), 12u); // [12, 18) still fits 6
+  EXPECT_EQ(F.firstFitFrom(13, 6), 50u); // [13, 18) does not
+}
+
+TEST(FreeSpaceIndex, AlignedFit) {
+  FreeSpaceIndex F;
+  F.reserve(0, 64);
+  F.release(6, 10); // block [6, 16): aligned-8 start within is 8
+  EXPECT_EQ(F.firstFitAligned(8, 8), 8u);
+  EXPECT_EQ(F.firstFitAligned(9, 8), 64u);
+  EXPECT_EQ(F.firstFitAligned(4, 4), 8u);
+}
+
+TEST(FreeSpaceIndex, FitBelowLimit) {
+  FreeSpaceIndex F;
+  F.reserve(0, 100);
+  F.release(10, 8);
+  EXPECT_EQ(F.firstFitBelow(8, 100), 10u);
+  EXPECT_EQ(F.firstFitBelow(8, 18), 10u);
+  EXPECT_EQ(F.firstFitBelow(8, 17), InvalidAddr);
+  EXPECT_EQ(F.firstFitBelow(9, 100), InvalidAddr);
+}
+
+TEST(FreeSpaceIndex, FreeWordsAccounting) {
+  FreeSpaceIndex F;
+  F.reserve(0, 100);
+  F.release(10, 8);
+  F.release(30, 4);
+  EXPECT_EQ(F.freeWordsBelow(100), 12u);
+  EXPECT_EQ(F.freeWordsBelow(32), 10u);
+  EXPECT_EQ(F.freeWordsIn(10, 18), 8u);
+  EXPECT_EQ(F.freeWordsIn(12, 40), 10u);
+  EXPECT_EQ(F.freeWordsIn(50, 90), 0u);
+}
+
+TEST(FreeSpaceIndex, RandomizedAgainstIntervalSet) {
+  // Property test: the free index is exactly the complement of a
+  // reference IntervalSet of used space.
+  Rng R(99);
+  FreeSpaceIndex F;
+  IntervalSet Used;
+  const Addr Universe = 512;
+  for (int Op = 0; Op != 4000; ++Op) {
+    Addr Start = R.nextBelow(Universe - 16);
+    uint64_t Size = 1 + R.nextBelow(16);
+    if (!Used.overlaps(Start, Start + Size) && R.nextBool(0.55)) {
+      F.reserve(Start, Size);
+      Used.insert(Start, Start + Size);
+    } else if (Used.containsRange(Start, Start + Size) && R.nextBool(0.9)) {
+      F.release(Start, Size);
+      Used.erase(Start, Start + Size);
+    }
+    Addr P1 = R.nextBelow(Universe - 8);
+    uint64_t S1 = 1 + R.nextBelow(8);
+    ASSERT_EQ(F.isFree(P1, S1), !Used.overlaps(P1, P1 + S1));
+    ASSERT_EQ(F.freeWordsIn(P1, P1 + S1),
+              S1 - Used.coveredWords(P1, P1 + S1));
+    // First fit really is first: nothing free of that size earlier.
+    uint64_t S2 = 1 + R.nextBelow(8);
+    Addr Fit = F.firstFit(S2);
+    ASSERT_TRUE(F.isFree(Fit, S2));
+    for (Addr A = 0; A < Fit && A + S2 <= Universe; ++A)
+      ASSERT_FALSE(F.isFree(A, S2)) << "missed earlier fit at " << A;
+  }
+}
+
+// --- Heap ----------------------------------------------------------------
+
+TEST(Heap, PlaceFreeMoveLifecycle) {
+  Heap H;
+  ObjectId A = H.place(0, 10);
+  ObjectId B = H.place(16, 8);
+  EXPECT_TRUE(H.isLive(A));
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_EQ(H.stats().LiveWords, 18u);
+  EXPECT_EQ(H.stats().HighWaterMark, 24u);
+
+  H.free(A);
+  EXPECT_FALSE(H.isLive(A));
+  EXPECT_EQ(H.stats().LiveWords, 8u);
+  EXPECT_EQ(H.stats().HighWaterMark, 24u); // footprint never shrinks
+
+  H.move(B, 0);
+  EXPECT_EQ(H.object(B).Address, 0u);
+  EXPECT_EQ(H.stats().MovedWords, 8u);
+  EXPECT_EQ(H.stats().NumMoves, 1u);
+}
+
+TEST(Heap, OverlappingSlideAllowed) {
+  Heap H;
+  ObjectId A = H.place(4, 10);
+  H.move(A, 0); // target overlaps the source; memmove semantics
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_TRUE(H.isFree(10, 4));
+}
+
+TEST(Heap, UsedWordsIn) {
+  Heap H;
+  H.place(0, 4);
+  H.place(8, 4);
+  EXPECT_EQ(H.usedWordsIn(0, 12), 8u);
+  EXPECT_EQ(H.usedWordsIn(2, 8), 4u);
+  EXPECT_EQ(H.usedWordsIn(4, 4), 0u);
+}
+
+TEST(Heap, LiveObjectsInAddressOrder) {
+  Heap H;
+  ObjectId C = H.place(32, 4);
+  ObjectId A = H.place(0, 4);
+  ObjectId B = H.place(16, 4);
+  std::vector<ObjectId> Live = H.liveObjects();
+  ASSERT_EQ(Live.size(), 3u);
+  EXPECT_EQ(Live[0], A);
+  EXPECT_EQ(Live[1], B);
+  EXPECT_EQ(Live[2], C);
+
+  auto In = H.liveObjectsIn(10, 10); // [10, 20): only B
+  ASSERT_EQ(In.size(), 1u);
+  EXPECT_EQ(In[0], B);
+
+  // Straddling object: starts before the range but reaches into it.
+  auto Straddle = H.liveObjectsIn(2, 4);
+  ASSERT_EQ(Straddle.size(), 1u);
+  EXPECT_EQ(Straddle[0], A);
+}
+
+TEST(Heap, StatsAccumulate) {
+  Heap H;
+  ObjectId A = H.place(0, 4);
+  H.free(A);
+  ObjectId B = H.place(0, 4);
+  (void)B;
+  EXPECT_EQ(H.stats().TotalAllocatedWords, 8u);
+  EXPECT_EQ(H.stats().NumAllocations, 2u);
+  EXPECT_EQ(H.stats().NumFrees, 1u);
+  EXPECT_EQ(H.stats().PeakLiveWords, 4u);
+}
+
+// --- ChunkView -----------------------------------------------------------
+
+TEST(ChunkView, IndexArithmetic) {
+  ChunkView V(3); // chunks of 8
+  EXPECT_EQ(V.chunkSize(), 8u);
+  EXPECT_EQ(V.indexOf(0), 0u);
+  EXPECT_EQ(V.indexOf(7), 0u);
+  EXPECT_EQ(V.indexOf(8), 1u);
+  EXPECT_EQ(V.startOf(2), 16u);
+  EXPECT_EQ(V.endOf(2), 24u);
+}
+
+TEST(ChunkView, FullCoverage) {
+  ChunkView V(3);
+  // Aligned 32-word object at 0 fully covers chunks 0..3.
+  EXPECT_EQ(V.firstFullIndex(0, 32), 0u);
+  EXPECT_EQ(V.lastFullIndex(0, 32), 3u);
+  EXPECT_EQ(V.numFullChunks(0, 32), 4u);
+  // Unaligned at 4: fully covers chunks 1..3 only.
+  EXPECT_EQ(V.firstFullIndex(4, 32), 1u);
+  EXPECT_EQ(V.lastFullIndex(4, 32), 3u);
+  EXPECT_EQ(V.numFullChunks(4, 32), 3u);
+  // Small object covers no chunk fully.
+  EXPECT_EQ(V.numFullChunks(4, 6), 0u);
+}
+
+TEST(ChunkView, TouchedChunks) {
+  ChunkView V(3);
+  EXPECT_EQ(V.firstTouchedIndex(4), 0u);
+  EXPECT_EQ(V.lastTouchedIndex(4, 32), 4u); // [4, 36) touches chunk 4
+  EXPECT_EQ(V.lastTouchedIndex(0, 8), 0u);
+}
+
+TEST(ChunkView, OccupyingDefinition) {
+  // Definition 4.2: object at [a, a+s) is f-occupying iff it covers some
+  // address k * 2^i + f.
+  ChunkView V(3);
+  EXPECT_TRUE(V.isOccupying(0, 1, 0));
+  EXPECT_FALSE(V.isOccupying(0, 1, 1));
+  EXPECT_TRUE(V.isOccupying(5, 4, 0)); // [5, 9) covers 8 = 1*8 + 0
+  EXPECT_TRUE(V.isOccupying(5, 4, 6));
+  EXPECT_FALSE(V.isOccupying(5, 4, 1));
+  // Object of a full chunk size occupies every offset.
+  for (uint64_t F = 0; F != 8; ++F)
+    EXPECT_TRUE(V.isOccupying(3, 8, F));
+}
+
+TEST(ChunkView, OccupyingMatchesBruteForce) {
+  // Property: the closed-form f-occupying test agrees with enumerating
+  // the object's words, across all small placements, sizes and offsets.
+  for (unsigned LogSize : {1u, 2u, 3u, 4u}) {
+    ChunkView V(LogSize);
+    uint64_t Chunk = V.chunkSize();
+    for (Addr Start = 0; Start != 3 * Chunk; ++Start)
+      for (uint64_t Size = 1; Size <= 2 * Chunk; ++Size)
+        for (uint64_t F = 0; F != Chunk; ++F) {
+          bool Brute = false;
+          for (Addr W = Start; W != Start + Size; ++W)
+            if (W % Chunk == F) {
+              Brute = true;
+              break;
+            }
+          ASSERT_EQ(V.isOccupying(Start, Size, F), Brute)
+              << "log=" << LogSize << " start=" << Start
+              << " size=" << Size << " f=" << F;
+        }
+  }
+}
+
+TEST(ChunkView, FullCoverageMatchesBruteForce) {
+  ChunkView V(3);
+  uint64_t Chunk = V.chunkSize();
+  for (Addr Start = 0; Start != 4 * Chunk; ++Start)
+    for (uint64_t Size = 1; Size <= 4 * Chunk; ++Size) {
+      uint64_t Brute = 0;
+      for (uint64_t K = V.indexOf(Start); K <= V.indexOf(Start + Size - 1);
+           ++K)
+        if (Start <= V.startOf(K) && V.endOf(K) <= Start + Size)
+          ++Brute;
+      ASSERT_EQ(V.numFullChunks(Start, Size), Brute)
+          << "start=" << Start << " size=" << Size;
+    }
+}
+
+TEST(FreeSpaceIndex, AlignedFitMatchesBruteForce) {
+  // Property: firstFitAligned returns the lowest aligned address that a
+  // brute-force scan over the free map would find.
+  Rng R(321);
+  FreeSpaceIndex F;
+  IntervalSet Used;
+  const Addr Universe = 256;
+  for (int Op = 0; Op != 1500; ++Op) {
+    Addr Start = R.nextBelow(Universe - 16);
+    uint64_t Size = 1 + R.nextBelow(16);
+    if (!Used.overlaps(Start, Start + Size) && R.nextBool(0.6)) {
+      F.reserve(Start, Size);
+      Used.insert(Start, Start + Size);
+    } else if (Used.containsRange(Start, Start + Size)) {
+      F.release(Start, Size);
+      Used.erase(Start, Start + Size);
+    }
+    uint64_t QSize = 1 + R.nextBelow(12);
+    uint64_t Align = uint64_t(1) << R.nextBelow(4);
+    Addr Got = F.firstFitAligned(QSize, Align);
+    Addr Brute = InvalidAddr;
+    for (Addr A = 0; A + QSize <= 2 * Universe; A += Align)
+      if (F.isFree(A, QSize)) {
+        Brute = A;
+        break;
+      }
+    ASSERT_EQ(Got, Brute) << "size=" << QSize << " align=" << Align;
+  }
+}
+
+TEST(Heap, ConsistencyCheckerPassesThroughChurn) {
+  Heap H;
+  Rng R(17);
+  std::vector<ObjectId> Live;
+  for (int Op = 0; Op != 2000; ++Op) {
+    if (Live.empty() || R.nextBool(0.6)) {
+      uint64_t Size = 1 + R.nextBelow(32);
+      Live.push_back(H.place(H.freeSpace().firstFit(Size), Size));
+    } else {
+      size_t Pick = size_t(R.nextBelow(Live.size()));
+      H.free(Live[Pick]);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+    }
+    if (Op % 100 == 0) {
+      ASSERT_TRUE(H.checkConsistency()) << "op " << Op;
+    }
+  }
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+// --- HeapImage -----------------------------------------------------------
+
+TEST(HeapImage, RendersOccupancyGlyphs) {
+  Heap H;
+  H.place(0, 16);
+  H.place(20, 8);
+  std::string Img = renderHeapImage(H, 32, 4, 1);
+  // 4 cells of 8 words: full, full, half-used, half-used.
+  EXPECT_EQ(Img, "##::");
+}
+
+TEST(HeapImage, EmptyHeap) {
+  Heap H;
+  EXPECT_EQ(renderHeapImage(H, 0), "(empty heap)");
+}
+
+TEST(HeapImage, WrapsAcrossLines) {
+  Heap H;
+  H.place(0, 8);
+  std::string Img = renderHeapImage(H, 16, /*MaxColumns=*/4, /*MaxLines=*/4);
+  // 16 words in cells of 1 word across 4-column lines: #### / #### / ....
+  EXPECT_EQ(Img, "####\n####\n....\n....");
+}
+
+TEST(Heap, MoveBeyondMarkGrowsFootprint) {
+  Heap H;
+  ObjectId A = H.place(0, 8);
+  EXPECT_EQ(H.stats().HighWaterMark, 8u);
+  H.move(A, 100);
+  EXPECT_EQ(H.stats().HighWaterMark, 108u);
+  EXPECT_EQ(H.stats().MovedWords, 8u);
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(FreeSpaceIndex, BlockCountTracksFragmentation) {
+  FreeSpaceIndex F;
+  EXPECT_EQ(F.numBlocks(), 1u); // the infinite tail
+  F.reserve(0, 64);
+  EXPECT_EQ(F.numBlocks(), 1u);
+  F.release(8, 8);
+  F.release(24, 8);
+  EXPECT_EQ(F.numBlocks(), 3u);
+  F.release(16, 8); // bridges the two holes
+  EXPECT_EQ(F.numBlocks(), 2u);
+  F.release(0, 8);
+  F.release(32, 32); // merges with the tail
+  EXPECT_EQ(F.numBlocks(), 1u);
+}
+
+} // namespace

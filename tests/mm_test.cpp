@@ -1,0 +1,556 @@
+//===- tests/mm_test.cpp - Unit tests for src/mm -------------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/BuddyManager.h"
+#include "mm/CompactionLedger.h"
+#include "mm/EvacuatingCompactor.h"
+#include "mm/HybridManager.h"
+#include "mm/ManagerFactory.h"
+#include "mm/PagedSpaceManager.h"
+#include "mm/SegregatedFitManager.h"
+#include "mm/SequentialFitManagers.h"
+#include "mm/SlidingCompactor.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcb;
+
+namespace {
+
+// --- CompactionLedger ----------------------------------------------------
+
+TEST(CompactionLedger, BudgetTracksAllocations) {
+  Heap H;
+  CompactionLedger L(H, 10.0);
+  EXPECT_EQ(L.budgetWords(), 0u);
+  EXPECT_FALSE(L.canMove(1));
+  H.place(0, 100);
+  EXPECT_EQ(L.budgetWords(), 10u);
+  EXPECT_TRUE(L.canMove(10));
+  EXPECT_FALSE(L.canMove(11));
+  EXPECT_TRUE(L.holds());
+}
+
+TEST(CompactionLedger, SpendingReducesRemaining) {
+  Heap H;
+  CompactionLedger L(H, 4.0);
+  ObjectId A = H.place(0, 40);
+  EXPECT_EQ(L.remainingWords(), 10u);
+  H.move(A, 64); // 40 words moved: over budget
+  EXPECT_EQ(L.remainingWords(), 0u);
+  EXPECT_FALSE(L.holds()); // the ledger reports the violation
+}
+
+TEST(CompactionLedger, UnlimitedMode) {
+  Heap H;
+  CompactionLedger L(H, 0.0);
+  EXPECT_TRUE(L.isUnlimited());
+  EXPECT_TRUE(L.canMove(UINT64_MAX / 2));
+  EXPECT_TRUE(L.holds());
+}
+
+// --- Placement policies --------------------------------------------------
+
+TEST(FirstFit, ReusesLowestHole) {
+  Heap H;
+  FirstFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(8);
+  ObjectId B = MM.allocate(8);
+  ObjectId C = MM.allocate(8);
+  (void)C;
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_EQ(H.object(B).Address, 8u);
+  MM.free(B);
+  ObjectId D = MM.allocate(4);
+  EXPECT_EQ(H.object(D).Address, 8u); // lowest hole, not the tail
+}
+
+TEST(BestFit, PrefersTightestHole) {
+  Heap H;
+  BestFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(16);
+  ObjectId Sep1 = MM.allocate(1);
+  ObjectId B = MM.allocate(4);
+  ObjectId Sep2 = MM.allocate(1);
+  (void)Sep1;
+  (void)Sep2;
+  MM.free(A);
+  MM.free(B);
+  // A 4-word request fits both holes; best fit takes the 4-word one.
+  ObjectId C = MM.allocate(4);
+  EXPECT_EQ(H.object(C).Address, 17u);
+}
+
+TEST(WorstFit, PrefersLargestHoleBelowMark) {
+  Heap H;
+  WorstFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(16);
+  ObjectId Sep1 = MM.allocate(1);
+  ObjectId B = MM.allocate(4);
+  ObjectId Sep2 = MM.allocate(1);
+  (void)Sep1;
+  (void)Sep2;
+  MM.free(A); // hole [0, 16)
+  MM.free(B); // hole [17, 21)
+  // Worst fit puts a 4-word request in the *big* hole.
+  ObjectId C = MM.allocate(4);
+  EXPECT_EQ(H.object(C).Address, 0u);
+  // And falls back to the tail when nothing below the mark fits.
+  ObjectId D = MM.allocate(64);
+  EXPECT_EQ(H.object(D).Address, 22u);
+}
+
+TEST(NextFit, AdvancesCursor) {
+  Heap H;
+  NextFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(8);
+  ObjectId B = MM.allocate(8);
+  MM.free(A);
+  // Cursor sits after B; the hole at 0 is behind it.
+  ObjectId C = MM.allocate(8);
+  EXPECT_EQ(H.object(C).Address, 16u);
+  MM.free(B);
+  (void)B;
+  // Request beyond the tail from cursor still succeeds.
+  ObjectId D = MM.allocate(8);
+  EXPECT_EQ(H.object(D).Address, 24u);
+}
+
+TEST(AlignedFit, AlignsToRoundedSize) {
+  Heap H;
+  AlignedFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(3); // rounds to alignment 4
+  ObjectId B = MM.allocate(8);
+  EXPECT_EQ(H.object(A).Address % 4, 0u);
+  EXPECT_EQ(H.object(B).Address % 8, 0u);
+}
+
+// --- Buddy ---------------------------------------------------------------
+
+TEST(Buddy, SplitsAndCoalesces) {
+  Heap H;
+  BuddyManager MM(H, 10.0);
+  ObjectId A = MM.allocate(4);
+  ObjectId B = MM.allocate(4);
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_EQ(H.object(B).Address, 4u);
+  MM.free(A);
+  MM.free(B);
+  // The pair coalesces: an 8-word request reuses the same block.
+  ObjectId C = MM.allocate(8);
+  EXPECT_EQ(H.object(C).Address, 0u);
+}
+
+TEST(Buddy, RoundsToPowerOfTwo) {
+  Heap H;
+  BuddyManager MM(H, 10.0);
+  ObjectId A = MM.allocate(5); // occupies an 8-block
+  EXPECT_EQ(MM.internalPaddingWords(), 3u);
+  ObjectId B = MM.allocate(8);
+  EXPECT_EQ(H.object(B).Address, 8u); // padding is not handed out
+  MM.free(A);
+  EXPECT_EQ(MM.internalPaddingWords(), 0u);
+}
+
+TEST(Buddy, BlockAlignment) {
+  Heap H;
+  BuddyManager MM(H, 10.0);
+  MM.allocate(1);
+  ObjectId B = MM.allocate(16);
+  EXPECT_EQ(H.object(B).Address % 16, 0u);
+}
+
+// --- Segregated fit ------------------------------------------------------
+
+TEST(SegregatedFit, ClassesDoNotMix) {
+  Heap H;
+  SegregatedFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(4);
+  ObjectId B = MM.allocate(8);
+  MM.free(A);
+  // The freed 4-slot must not serve an 8-request.
+  ObjectId C = MM.allocate(8);
+  EXPECT_NE(H.object(C).Address, H.object(A).Address);
+  // But it does serve the next 4-request.
+  ObjectId D = MM.allocate(4);
+  EXPECT_EQ(H.object(D).Address, 0u);
+  (void)B;
+}
+
+// --- Paged space -----------------------------------------------------------
+
+TEST(PagedSpace, SlotsPackWithinOnePage) {
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5; // 32-word pages
+  PagedSpaceManager MM(H, 10.0, Opts);
+  ObjectId A = MM.allocate(4);
+  ObjectId B = MM.allocate(4);
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_EQ(H.object(B).Address, 4u);
+  EXPECT_EQ(MM.numPages(), 1u);
+}
+
+TEST(PagedSpace, ClassesUseSeparatePages) {
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  PagedSpaceManager MM(H, 10.0, Opts);
+  ObjectId A = MM.allocate(4);
+  ObjectId B = MM.allocate(8);
+  EXPECT_EQ(H.object(A).Address / 32, 0u);
+  EXPECT_EQ(H.object(B).Address / 32, 1u);
+}
+
+TEST(PagedSpace, EmptyPagesRecycleAcrossClasses) {
+  // The structural advantage over flat segregated fit: a page emptied of
+  // 4-word objects serves 8-word objects next.
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  PagedSpaceManager MM(H, 10.0, Opts);
+  std::vector<ObjectId> Small;
+  for (int I = 0; I != 8; ++I)
+    Small.push_back(MM.allocate(4)); // fills page 0
+  for (ObjectId Id : Small)
+    MM.free(Id); // page 0 empties and is recycled
+  EXPECT_EQ(MM.numFreePages(), 1u);
+  ObjectId Big = MM.allocate(8);
+  EXPECT_EQ(H.object(Big).Address / 32, 0u) << "page 0 was not recycled";
+}
+
+TEST(PagedSpace, HumongousRunsAndTheirRelease) {
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  PagedSpaceManager MM(H, 10.0, Opts);
+  ObjectId Big = MM.allocate(100); // 4 pages of 32
+  EXPECT_EQ(H.object(Big).Address, 0u);
+  EXPECT_EQ(MM.numPages(), 4u);
+  // A small allocation goes after the run.
+  ObjectId Small = MM.allocate(4);
+  EXPECT_EQ(H.object(Small).Address / 32, 4u);
+  MM.free(Big);
+  EXPECT_EQ(MM.numFreePages(), 4u);
+  // The freed run is reused for the next humongous request.
+  ObjectId Big2 = MM.allocate(60);
+  EXPECT_EQ(H.object(Big2).Address, 0u);
+}
+
+TEST(PagedSpace, EvacuationConsolidatesSparsePages) {
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  Opts.EvacuationThreshold = 0.5;
+  PagedSpaceManager MM(H, 4.0, Opts); // generous budget
+  // Two pages of 8-word slots, one survivor each.
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 8; ++I)
+    Ids.push_back(MM.allocate(8));
+  for (int I = 0; I != 8; ++I)
+    if (I != 0 && I != 4)
+      MM.free(Ids[I]);
+  ASSERT_EQ(MM.numFreePages(), 0u);
+  // A 16-word request has no slot and no free page: evacuation must
+  // consolidate the two quarter-full pages instead of growing the heap.
+  uint64_t HwmBefore = H.stats().HighWaterMark;
+  ObjectId Big = MM.allocate(16);
+  EXPECT_GT(MM.numEvacuations(), 0u);
+  EXPECT_LE(H.object(Big).end(), HwmBefore);
+  EXPECT_TRUE(MM.ledger().holds());
+}
+
+TEST(PagedSpace, EvacuationRespectsBudget) {
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  Opts.EvacuationThreshold = 1.0;
+  PagedSpaceManager MM(H, 1000.0, Opts); // almost no budget
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 8; ++I)
+    Ids.push_back(MM.allocate(8));
+  for (int I = 0; I != 8; ++I)
+    if (I % 4 != 0)
+      MM.free(Ids[I]);
+  MM.allocate(16);
+  EXPECT_EQ(MM.numEvacuations(), 0u);
+  EXPECT_EQ(H.stats().MovedWords, 0u);
+}
+
+// --- Evacuating compactor ------------------------------------------------
+
+TEST(Evacuating, ReusesSparseChunkWithinBudget) {
+  Heap H;
+  EvacuatingCompactor::Options Opts;
+  Opts.DensityThreshold = 0.5;
+  Opts.MinEvacuationSize = 4;
+  EvacuatingCompactor MM(H, 4.0, Opts); // generous budget: 1/4
+  // Fill [0, 64) with 16 x 4-word objects, then free all but one per
+  // 16-word chunk to build sparse chunks.
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(MM.allocate(4));
+  for (int I = 0; I != 16; ++I)
+    if (I % 4 != 0)
+      MM.free(Ids[I]);
+  // Each 16-chunk holds 4 live words (density 1/4 <= 1/2). A 16-word
+  // request should evacuate a chunk rather than extend past the mark...
+  uint64_t HwmBefore = H.stats().HighWaterMark;
+  ObjectId Big = MM.allocate(16);
+  EXPECT_LT(H.object(Big).Address, HwmBefore);
+  EXPECT_GT(MM.numEvacuations(), 0u);
+  EXPECT_GT(H.stats().MovedWords, 0u);
+  EXPECT_TRUE(MM.ledger().holds());
+}
+
+TEST(Evacuating, RespectsBudget) {
+  Heap H;
+  EvacuatingCompactor::Options Opts;
+  Opts.DensityThreshold = 1.0;
+  Opts.MinEvacuationSize = 4;
+  EvacuatingCompactor MM(H, 1000.0, Opts); // nearly no budget
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(MM.allocate(4));
+  for (int I = 0; I != 16; ++I)
+    if (I % 2 != 0)
+      MM.free(Ids[I]);
+  // Budget is 64/1000 = 0 words; no evacuation may happen.
+  MM.allocate(16);
+  EXPECT_EQ(H.stats().MovedWords, 0u);
+  EXPECT_TRUE(MM.ledger().holds());
+}
+
+// --- Hybrid: slot bookkeeping across evacuation ----------------------------
+
+TEST(Hybrid, EvacuationSplitsContainingFreeSlot) {
+  // The hardest bookkeeping path: evacuating a sparse chunk frees the
+  // big slot that *contains* it; the manager must buddy-split that slot
+  // so later allocations of other classes reuse the complement without
+  // overlapping the cleared chunk.
+  Heap H;
+  HybridManager::Options Opts;
+  Opts.DensityThreshold = 0.5;
+  Opts.MinEvacuationSize = 4;
+  HybridManager MM(H, 2.0, Opts);
+  // Fund the compaction budget.
+  for (int I = 0; I != 4; ++I)
+    MM.free(MM.allocate(16));
+  // A 9-word object in a 16-word class-4 slot: the slot's third 4-chunk
+  // holds a single live word.
+  ObjectId A = MM.allocate(9);
+  Addr OldAddr = H.object(A).Address;
+  // A class-2 slot miss triggers evacuation of that sparse chunk.
+  ObjectId B = MM.allocate(4);
+  EXPECT_GT(MM.numEvacuations(), 0u);
+  EXPECT_NE(H.object(A).Address, OldAddr);
+  EXPECT_TRUE(MM.ledger().holds());
+  ASSERT_TRUE(H.checkConsistency());
+  // The split slot's complement serves other classes cleanly.
+  ObjectId C = MM.allocate(8);
+  ObjectId D = MM.allocate(4);
+  EXPECT_TRUE(H.isLive(B));
+  EXPECT_TRUE(H.isLive(C));
+  EXPECT_TRUE(H.isLive(D));
+  ASSERT_TRUE(H.checkConsistency());
+}
+
+// --- Sliding compactor ---------------------------------------------------
+
+TEST(Sliding, UnlimitedPacksPerfectly) {
+  Heap H;
+  SlidingCompactor MM(H, 0.0); // unlimited budget
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 8; ++I)
+    Ids.push_back(MM.allocate(8));
+  for (int I = 0; I != 8; I += 2)
+    MM.free(Ids[I]);
+  // 32 live words in [0, 64) with holes; a 32-word request compacts and
+  // fits below the old mark.
+  ObjectId Big = MM.allocate(32);
+  EXPECT_LE(H.object(Big).end(), 64u);
+  EXPECT_EQ(MM.numCompactions(), 1u);
+  EXPECT_EQ(H.stats().HighWaterMark, 64u);
+}
+
+TEST(Sliding, PreservesAddressOrder) {
+  Heap H;
+  SlidingCompactor MM(H, 0.0);
+  ObjectId P = MM.allocate(6);
+  ObjectId Q = MM.allocate(6);
+  ObjectId R = MM.allocate(6);
+  ObjectId S = MM.allocate(6);
+  MM.free(Q);
+  MM.free(S);
+  // Two 6-word holes; a 10-word request cannot use either, but 12 free
+  // words sit below the mark, so the manager slides.
+  MM.allocate(10);
+  EXPECT_EQ(MM.numCompactions(), 1u);
+  EXPECT_EQ(H.object(P).Address, 0u);
+  EXPECT_EQ(H.object(R).Address, 6u); // Lisp-2 order preserved
+}
+
+TEST(Sliding, FiniteBudgetStopsCompacting) {
+  Heap H;
+  SlidingCompactor MM(H, 1000000.0);
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 8; ++I)
+    Ids.push_back(MM.allocate(8));
+  for (int I = 0; I != 8; I += 2)
+    MM.free(Ids[I]);
+  uint64_t Hwm = H.stats().HighWaterMark;
+  ObjectId Big = MM.allocate(32);
+  // No budget: the request must extend the heap instead.
+  EXPECT_GE(H.object(Big).Address, Hwm);
+  EXPECT_TRUE(MM.ledger().holds());
+}
+
+TEST(Buddy, SplitChainFromLargeBlock) {
+  Heap H;
+  BuddyManager MM(H, 10.0);
+  ObjectId Big = MM.allocate(32);
+  MM.free(Big);
+  // A 1-word request splits the 32-block down to order 0 at address 0 and
+  // leaves buddies at 1, 2, 4, 8, 16.
+  ObjectId Tiny = MM.allocate(1);
+  EXPECT_EQ(H.object(Tiny).Address, 0u);
+  EXPECT_EQ(H.object(MM.allocate(2)).Address, 2u);
+  EXPECT_EQ(H.object(MM.allocate(4)).Address, 4u);
+  EXPECT_EQ(H.object(MM.allocate(1)).Address, 1u);
+}
+
+TEST(PagedSpace, HumongousRunSpansFrontierGap) {
+  // A humongous request larger than any free-page run must extend the
+  // frontier even when scattered free pages exist.
+  Heap H;
+  PagedSpaceManager::Options Opts;
+  Opts.PageLog = 5;
+  PagedSpaceManager MM(H, 10.0, Opts);
+  ObjectId A = MM.allocate(4);  // page 0
+  ObjectId B = MM.allocate(32); // page 1 (full page slot)
+  ObjectId C = MM.allocate(32); // page 2
+  MM.free(B);                   // free page 1, isolated
+  ASSERT_EQ(MM.numFreePages(), 1u);
+  ObjectId Big = MM.allocate(64); // needs 2 consecutive pages
+  EXPECT_EQ(H.object(Big).Address, 3u * 32u) << "must start a fresh run";
+  (void)A;
+  (void)C;
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+// --- Move callback plumbing ----------------------------------------------
+
+TEST(MoveCallback, ImmediateFreeOnMove) {
+  Heap H;
+  EvacuatingCompactor::Options Opts;
+  Opts.DensityThreshold = 1.0;
+  Opts.MinEvacuationSize = 4;
+  EvacuatingCompactor MM(H, 2.0, Opts);
+  std::vector<std::pair<Addr, Addr>> Moves;
+  MM.setMoveCallback([&](ObjectId, Addr From, Addr To) {
+    Moves.emplace_back(From, To);
+    return true; // adversary behaviour: free it immediately
+  });
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 8; ++I)
+    Ids.push_back(MM.allocate(4));
+  for (int I = 1; I != 8; ++I)
+    MM.free(Ids[I]);
+  // One 4-word object left in [0, 32); a 32-word request evacuates it,
+  // and the callback frees it mid-flight.
+  MM.allocate(32);
+  ASSERT_EQ(Moves.size(), 1u);
+  EXPECT_FALSE(H.isLive(Ids[0]));
+  EXPECT_TRUE(MM.ledger().holds());
+}
+
+// --- Property sweep across all managers ----------------------------------
+
+struct ChurnCase {
+  const char *Policy;
+  uint64_t Seed;
+};
+
+class ManagerChurn : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(ManagerChurn, RandomWorkloadInvariants) {
+  ChurnCase Case = GetParam();
+  Heap H;
+  auto MM = createManager(Case.Policy, H, 20.0, /*LiveBound=*/pow2(14));
+  ASSERT_NE(MM, nullptr);
+  MM->setMoveCallback([](ObjectId, Addr, Addr) { return false; });
+
+  Rng R(Case.Seed);
+  std::vector<ObjectId> Live;
+  uint64_t ExpectedLiveWords = 0;
+  for (int Op = 0; Op != 4000; ++Op) {
+    if (Live.empty() || R.nextBool(0.55)) {
+      uint64_t Size = uint64_t(1) << R.nextBelow(7);
+      if (R.nextBool(0.3))
+        Size += R.nextBelow(Size); // non-power-of-two sizes too
+      ObjectId Id = MM->allocate(Size);
+      ASSERT_TRUE(H.isLive(Id));
+      ExpectedLiveWords += H.object(Id).Size;
+      Live.push_back(Id);
+    } else {
+      size_t Pick = size_t(R.nextBelow(Live.size()));
+      ObjectId Id = Live[Pick];
+      Live[Pick] = Live.back();
+      Live.pop_back();
+      if (!H.isLive(Id))
+        continue;
+      ExpectedLiveWords -= H.object(Id).Size;
+      MM->free(Id);
+    }
+    ASSERT_EQ(H.stats().LiveWords, ExpectedLiveWords);
+    ASSERT_TRUE(MM->ledger().holds()) << "budget breached by "
+                                      << Case.Policy;
+  }
+  // No two live objects overlap: total live words fit in the footprint.
+  EXPECT_LE(H.stats().LiveWords, H.stats().HighWaterMark);
+  // Address-ordered live objects are pairwise disjoint.
+  std::vector<ObjectId> Sorted = H.liveObjects();
+  for (size_t I = 1; I < Sorted.size(); ++I)
+    ASSERT_LE(H.object(Sorted[I - 1]).end(), H.object(Sorted[I]).Address);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ManagerChurn,
+    ::testing::Values(ChurnCase{"first-fit", 1}, ChurnCase{"best-fit", 2},
+                      ChurnCase{"next-fit", 3}, ChurnCase{"aligned-fit", 4},
+                      ChurnCase{"worst-fit", 12},
+                      ChurnCase{"buddy", 5}, ChurnCase{"segregated-fit", 6},
+                      ChurnCase{"evacuating", 7}, ChurnCase{"hybrid", 8},
+                      ChurnCase{"sliding", 9},
+                      ChurnCase{"sliding-unlimited", 10},
+                      ChurnCase{"bump-compactor", 11},
+                      ChurnCase{"paged-space", 13}),
+    [](const ::testing::TestParamInfo<ChurnCase> &Info) {
+      std::string Name = Info.param.Policy;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(ManagerFactory, KnowsAllPolicies) {
+  Heap H;
+  for (const std::string &Policy : allManagerPolicies()) {
+    auto MM = createManager(Policy, H, 10.0, /*LiveBound=*/1024);
+    ASSERT_NE(MM, nullptr) << Policy;
+    if (Policy == "sliding-unlimited")
+      EXPECT_EQ(MM->name(), "sliding-unlimited");
+    else
+      EXPECT_EQ(MM->name(), Policy);
+  }
+  EXPECT_EQ(createManager("no-such-policy", H, 10.0), nullptr);
+  // The bump compactor needs the program's live bound.
+  EXPECT_EQ(createManager("bump-compactor", H, 10.0), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tools/pcbound.cpp - The pcbound command-line tool ------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// One binary for the common workflows:
+//
+//   pcbound bounds   [M= n= c=]                 all bounds + readings
+//   pcbound plan     [M= n= target=]            inverse: budget for a target
+//   pcbound simulate [program= policy= logm= logn= c= trace= verbose=]
+//                                               run an execution, optionally
+//                                               saving the event trace
+//   pcbound replay   trace=FILE [policy= c= logm=]
+//                                               re-run a saved trace's
+//                                               program behaviour elsewhere
+//   pcbound policies                            list manager policies
+//
+//===----------------------------------------------------------------------===//
+
+#include "adversary/ProgramFactory.h"
+#include "adversary/SyntheticWorkloads.h"
+#include "adversary/WorkloadSpec.h"
+#include "bounds/BenderskyPetrankBounds.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "bounds/Planning.h"
+#include "bounds/RobsonBounds.h"
+#include "driver/Auditors.h"
+#include "driver/Execution.h"
+#include "driver/TraceIO.h"
+#include "heap/HeapImage.h"
+#include "heap/Metrics.h"
+#include "mm/ManagerFactory.h"
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+using namespace pcb;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: pcbound <command> [name=value ...]\n"
+      << "  bounds    [M=256M n=1M c=50]\n"
+      << "  plan      [M=256M n=1M target=2.5]\n"
+      << "  simulate  [program=cohen-petrank policy=evacuating logm=14\n"
+      << "             logn=8 c=50 trace=FILE verbose=0]\n"
+      << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
+      << "  policies\n"
+      << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
+      << "          stack-lifo, queue-fifo, sawtooth,\n"
+      << "          spec (with spec=FILE; see docs/MANUAL.md)\n";
+  return 2;
+}
+
+int cmdBounds(const OptionParser &Opts) {
+  BoundParams P;
+  P.M = Opts.getUInt("M", pow2(28));
+  P.N = Opts.getUInt("n", pow2(20));
+  P.C = Opts.getDouble("c", 50.0);
+  if (!P.valid()) {
+    std::cerr << "error: need power-of-two M >= n >= 2 and c > 1\n";
+    return 1;
+  }
+  Table T({"bound", "waste_factor", "heap_words"});
+  auto Row = [&](const std::string &Name, double Factor) {
+    T.beginRow();
+    T.addCell(Name);
+    T.addCell(Factor, 3);
+    T.addCell(uint64_t(Factor * double(P.M)));
+  };
+  Row("lower: Cohen-Petrank Theorem 1", cohenPetrankLowerWasteFactor(P));
+  Row("lower: Bendersky-Petrank POPL'11",
+      benderskyPetrankLowerWasteFactor(P));
+  Row("lower/upper: Robson (no moving)", robsonWasteFactor(P));
+  Row("upper: Bendersky-Petrank (c+1)M",
+      benderskyPetrankUpperWasteFactor(P));
+  if (P.C > 0.5 * double(P.logN()))
+    Row("upper: Cohen-Petrank Theorem 2", cohenPetrankUpperWasteFactor(P));
+  Row("upper: best known combined", newBestUpperWasteFactor(P));
+  T.printAligned(std::cout);
+  return 0;
+}
+
+int cmdPlan(const OptionParser &Opts) {
+  uint64_t M = Opts.getUInt("M", pow2(28));
+  uint64_t N = Opts.getUInt("n", pow2(20));
+  double Target = Opts.getDouble("target", 2.5);
+  CompactionPlan Plan = planCompactionBudget(M, N, Target);
+  if (!Plan.Feasible) {
+    std::cout << "target waste factor " << formatDouble(Target, 2)
+              << " is not guaranteeable by any partial compactor at"
+              << " these parameters\n";
+    return 0;
+  }
+  std::cout << "to keep the guaranteed worst case at or below "
+            << formatDouble(Target, 2) << " x live space (M="
+            << formatWords(M) << ", n=" << formatWords(N) << "):\n"
+            << "  move at least " << formatDouble(100.0 * Plan.MinMovedFraction, 2)
+            << "% of all allocated words (c <= "
+            << formatDouble(Plan.MaxQuota, 1) << ")\n"
+            << "  Theorem 1 then forces at most "
+            << formatDouble(Plan.AchievedLowerBound, 3) << " x\n";
+  return 0;
+}
+
+int cmdSimulate(const OptionParser &Opts) {
+  std::string ProgName = Opts.getString("program", "cohen-petrank");
+  std::string Policy = Opts.getString("policy", "evacuating");
+  unsigned LogM = unsigned(Opts.getUInt("logm", 14));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+  double C = Opts.getDouble("c", 50.0);
+  bool Verbose = Opts.getBool("verbose", false);
+  uint64_t M = pow2(LogM);
+
+  Heap H;
+  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  if (!MM) {
+    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    return 1;
+  }
+  std::unique_ptr<Program> Prog;
+  if (ProgName == "spec") {
+    std::string SpecPath = Opts.getString("spec", "");
+    std::ifstream SpecIS(SpecPath);
+    if (SpecPath.empty() || !SpecIS) {
+      std::cerr << "error: program=spec needs a readable spec=FILE\n";
+      return 1;
+    }
+    WorkloadSpec Spec;
+    std::string Error;
+    if (!parseWorkloadSpec(SpecIS, Spec, Error)) {
+      std::cerr << "error: " << SpecPath << ": " << Error << "\n";
+      return 1;
+    }
+    Prog = std::make_unique<SpecProgram>(M, Spec);
+  } else {
+    Prog = createProgram(ProgName, M, LogN, C);
+  }
+  if (!Prog) {
+    std::cerr << "error: unknown program '" << ProgName << "'\n";
+    return 1;
+  }
+
+  EventLog Log;
+  Execution::Options ExecOpts;
+  std::string TracePath = Opts.getString("trace", "");
+  if (!TracePath.empty())
+    ExecOpts.Log = &Log;
+  Execution E(*MM, *Prog, M, ExecOpts);
+
+  if (Verbose) {
+    while (true) {
+      bool More = E.runStep();
+      const HeapStats &S = H.stats();
+      std::cout << "step " << E.stepsRun() << ": live=" << S.LiveWords
+                << " heap=" << S.HighWaterMark << " moved=" << S.MovedWords
+                << "\n"
+                << renderHeapImage(H, S.HighWaterMark, 72, 2) << "\n";
+      if (!More)
+        break;
+    }
+  }
+  ExecutionResult R = E.run();
+  FragmentationMetrics FM = measureFragmentation(H);
+
+  std::cout << Prog->name() << " vs " << MM->name() << " (M="
+            << formatWords(M) << ", n=" << formatWords(pow2(LogN))
+            << ", c=" << C << ")\n"
+            << "  heap size HS(A,P)   " << R.HeapSize << " words ("
+            << formatDouble(R.wasteFactor(M), 3) << " x M)\n"
+            << "  peak live           " << R.PeakLiveWords << "\n"
+            << "  total allocated     " << R.TotalAllocatedWords << "\n"
+            << "  moved (compaction)  " << R.MovedWords << "\n"
+            << "  utilization         " << formatDouble(FM.Utilization, 3)
+            << ", external fragmentation "
+            << formatDouble(FM.ExternalFragmentation, 3) << "\n";
+
+  if (!TracePath.empty()) {
+    std::ofstream OS(TracePath);
+    if (!OS) {
+      std::cerr << "error: cannot write '" << TracePath << "'\n";
+      return 1;
+    }
+    OS << "# pcbound trace: " << Prog->name() << " vs " << MM->name()
+       << "\n";
+    writeEventLog(OS, Log);
+    std::cout << "  trace written to    " << TracePath << " ("
+              << Log.size() << " events)\n";
+  }
+  return 0;
+}
+
+int cmdReplay(const OptionParser &Opts) {
+  std::string TracePath = Opts.getString("trace", "");
+  if (TracePath.empty()) {
+    std::cerr << "error: replay needs trace=FILE\n";
+    return 1;
+  }
+  std::ifstream IS(TracePath);
+  if (!IS) {
+    std::cerr << "error: cannot read '" << TracePath << "'\n";
+    return 1;
+  }
+  EventLog Log;
+  if (!readEventLog(IS, Log)) {
+    std::cerr << "error: malformed trace '" << TracePath << "'\n";
+    return 1;
+  }
+  AuditReport Audit = auditEvents(Log.events());
+  std::cout << "trace: " << Log.size() << " events, "
+            << Audit.NumAllocations << " allocs, " << Audit.NumFrees
+            << " frees, " << Audit.NumMoves << " moves (original HS "
+            << Audit.HighWaterMark << ")\n";
+
+  std::string Policy = Opts.getString("policy", "first-fit");
+  unsigned LogM = unsigned(Opts.getUInt("logm", 14));
+  double C = Opts.getDouble("c", 50.0);
+  uint64_t M = pow2(LogM);
+  Heap H;
+  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  if (!MM) {
+    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    return 1;
+  }
+  TraceReplayProgram Prog(Log.toTrace());
+  Execution E(*MM, Prog, M);
+  ExecutionResult R = E.run();
+  std::cout << "replayed through " << MM->name() << ": HS " << R.HeapSize
+            << " words (" << formatDouble(R.wasteFactor(M), 3)
+            << " x M), moved " << R.MovedWords << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  if (Opts.positional().empty())
+    return usage();
+  const std::string &Command = Opts.positional()[0];
+  if (Command == "bounds")
+    return cmdBounds(Opts);
+  if (Command == "plan")
+    return cmdPlan(Opts);
+  if (Command == "simulate")
+    return cmdSimulate(Opts);
+  if (Command == "replay")
+    return cmdReplay(Opts);
+  if (Command == "policies") {
+    std::cout << "# manager policies\n";
+    for (const std::string &Policy : allManagerPolicies())
+      std::cout << Policy << "\n";
+    std::cout << "# programs\n";
+    for (const std::string &Name : allProgramNames())
+      std::cout << Name << "\n";
+    return 0;
+  }
+  return usage();
+}
