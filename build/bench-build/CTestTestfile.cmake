@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_smoke "/root/repo/build/bench/bench_fig1" "cmax=16")
+set_tests_properties(bench_fig1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;18;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig2_smoke "/root/repo/build/bench/bench_fig2" "lognmax=14")
+set_tests_properties(bench_fig2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;19;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_smoke "/root/repo/build/bench/bench_fig3" "cmax=16")
+set_tests_properties(bench_fig3_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;20;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_robson_smoke "/root/repo/build/bench/bench_robson" "logm=11" "lognmax=5")
+set_tests_properties(bench_robson_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;21;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_pf_sim_smoke "/root/repo/build/bench/bench_pf_sim" "logm=12" "logn=7" "cs=10,50")
+set_tests_properties(bench_pf_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_pf_n_sweep_smoke "/root/repo/build/bench/bench_pf_n_sweep" "lognmin=6" "lognmax=7" "ratio=32")
+set_tests_properties(bench_pf_n_sweep_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_upper_smoke "/root/repo/build/bench/bench_upper" "logm=12" "logn=6")
+set_tests_properties(bench_upper_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_smoke "/root/repo/build/bench/bench_ablation" "logm=12" "logn=7" "cs=20")
+set_tests_properties(bench_ablation_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_manager_tuning_smoke "/root/repo/build/bench/bench_manager_tuning" "logm=12" "logn=6" "thresholds=0.25")
+set_tests_properties(bench_manager_tuning_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_substrate_smoke "/root/repo/build/bench/bench_substrate" "--benchmark_min_time=0.01")
+set_tests_properties(bench_substrate_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
