@@ -6,19 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Small helpers shared by the table benches: emitting a Table according
-/// to the common `csv=` / `out=` options, and parsing comma-separated
-/// numeric lists (`cs=10,25,50`).
+/// Small helpers shared by the table benches: constructing the experiment
+/// Runner from the common `threads=` / `progress=` options, and parsing
+/// comma-separated numeric lists (`cs=10,25,50`). Table emission lives in
+/// runner/ResultSink.h (`csv=` / `json=` / `out=` handling included).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PCBOUND_BENCH_BENCHUTILS_H
 #define PCBOUND_BENCH_BENCHUTILS_H
 
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
-#include "support/Table.h"
 
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -26,25 +27,15 @@
 
 namespace pcb {
 
-/// Prints \p T to stdout (aligned, or CSV with `csv=1`) and additionally
-/// writes CSV to the file named by `out=` when given. Returns false when
-/// the output file could not be written.
-inline bool emitTable(const Table &T, const OptionParser &Opts) {
-  if (Opts.getBool("csv", false))
-    T.printCsv(std::cout);
-  else
-    T.printAligned(std::cout);
-  std::string OutPath = Opts.getString("out", "");
-  if (OutPath.empty())
-    return true;
-  std::ofstream OS(OutPath);
-  if (!OS) {
-    std::cerr << "error: cannot write '" << OutPath << "'\n";
-    return false;
-  }
-  T.printCsv(OS);
-  std::cout << "# wrote " << OutPath << "\n";
-  return true;
+/// Builds a Runner from the benches' common options: `threads=N` (0 or
+/// absent = all hardware threads) and `progress=0/1` (default: auto,
+/// i.e. report to stderr only when it is a terminal).
+inline Runner makeRunner(const OptionParser &Opts) {
+  RunnerOptions RO;
+  RO.Threads = unsigned(Opts.getUInt("threads", 0));
+  if (Opts.has("progress"))
+    RO.Progress = Opts.getBool("progress", true) ? 1 : 0;
+  return Runner(RO);
 }
 
 /// Parses "10,25,50" into doubles; empty items are skipped.
@@ -52,9 +43,17 @@ inline std::vector<double> parseNumberList(const std::string &Text) {
   std::vector<double> Values;
   std::istringstream IS(Text);
   std::string Item;
-  while (std::getline(IS, Item, ','))
-    if (!Item.empty())
-      Values.push_back(std::stod(Item));
+  while (std::getline(IS, Item, ',')) {
+    if (Item.empty())
+      continue;
+    char *End = nullptr;
+    double Value = std::strtod(Item.c_str(), &End);
+    if (!End || *End != '\0') {
+      std::cerr << "error: invalid number '" << Item << "' in list\n";
+      std::exit(1);
+    }
+    Values.push_back(Value);
+  }
   return Values;
 }
 

@@ -21,7 +21,11 @@
 //   sigma=k       forcing each admissible density exponent, showing the
 //                 optimum matches the h-maximizing sigma
 //
+// The (c, variant) grid is rectangular; sigma=k cells outside a given
+// c's admissible range produce no row.
+//
 // Usage: bench_ablation [logm=15] [logn=9] [cs=20,50,100] [csv=0]
+//                       [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,9 +34,13 @@
 #include "driver/Execution.h"
 #include "mm/EvacuatingCompactor.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 
@@ -50,54 +58,58 @@ int main(int argc, char **argv) {
             << " manager (M=" << formatWords(M) << ", n=" << formatWords(N)
             << ")\n";
 
-  Table T({"c", "variant", "sigma", "measured_waste", "theory_h",
-           "moved_words"});
-
-  auto RunVariant = [&](double C, const std::string &Name,
-                        const CohenPetrankProgram::Options &ProgOpts) {
-    Heap H;
-    EvacuatingCompactor MM(H, C);
-    CohenPetrankProgram PF(M, N, C, ProgOpts);
-    Execution E(MM, PF, M);
-    ExecutionResult R = E.run();
-    T.beginRow();
-    T.addCell(uint64_t(C));
-    T.addCell(Name);
-    T.addCell(uint64_t(PF.sigma()));
-    T.addCell(R.wasteFactor(M), 3);
-    T.addCell(PF.targetWasteFactor(), 3);
-    T.addCell(R.MovedWords);
+  auto MaxSigmaFor = [&](double C) {
+    return std::min(cohenPetrankMaxSigma(C), (log2Exact(N) - 2) / 2);
   };
+  unsigned GlobalMaxSigma = 0;
+  for (double C : Cs)
+    GlobalMaxSigma = std::max(GlobalMaxSigma, MaxSigmaFor(C));
 
-  for (double C : Cs) {
-    CohenPetrankProgram::Options Full;
-    RunVariant(C, "full", Full);
+  std::vector<std::string> Variants = {"full", "no-density", "no-ghosts",
+                                       "no-stage1", "greedy-alloc"};
+  for (unsigned S = 1; S <= GlobalMaxSigma; ++S)
+    Variants.push_back("sigma=" + std::to_string(S));
 
-    CohenPetrankProgram::Options NoDensity;
-    NoDensity.MaintainDensity = false;
-    RunVariant(C, "no-density", NoDensity);
+  ExperimentGrid Grid;
+  Grid.addAxis("c", Cs);
+  Grid.addAxis("variant", Variants);
 
-    CohenPetrankProgram::Options NoGhosts;
-    NoGhosts.TrackGhosts = false;
-    RunVariant(C, "no-ghosts", NoGhosts);
+  ResultSink Sink({"c", "variant", "sigma", "measured_waste", "theory_h",
+                   "moved_words"});
+  makeRunner(Opts).run(
+      Grid,
+      [&](const GridCell &Cell) -> std::vector<Row> {
+        double C = Cell.num("c");
+        const std::string &Variant = Cell.str("variant");
+        CohenPetrankProgram::Options ProgOpts;
+        if (Variant == "no-density")
+          ProgOpts.MaintainDensity = false;
+        else if (Variant == "no-ghosts")
+          ProgOpts.TrackGhosts = false;
+        else if (Variant == "no-stage1")
+          ProgOpts.RobsonBootstrap = false;
+        else if (Variant == "greedy-alloc")
+          ProgOpts.FixedAllocation = false;
+        else if (Variant.rfind("sigma=", 0) == 0) {
+          unsigned S = unsigned(std::stoul(Variant.substr(6)));
+          if (S > MaxSigmaFor(C))
+            return {}; // inadmissible sigma at this c: no row
+          ProgOpts.SigmaOverride = S;
+        }
 
-    CohenPetrankProgram::Options NoStageOne;
-    NoStageOne.RobsonBootstrap = false;
-    RunVariant(C, "no-stage1", NoStageOne);
-
-    CohenPetrankProgram::Options Greedy;
-    Greedy.FixedAllocation = false;
-    RunVariant(C, "greedy-alloc", Greedy);
-
-    unsigned MaxSigma = std::min(cohenPetrankMaxSigma(C),
-                                 (log2Exact(N) - 2) / 2);
-    for (unsigned S = 1; S <= MaxSigma; ++S) {
-      CohenPetrankProgram::Options Forced;
-      Forced.SigmaOverride = S;
-      RunVariant(C, "sigma=" + std::to_string(S), Forced);
-    }
-  }
-  if (!emitTable(T, Opts))
-    return 1;
-  return 0;
+        Heap H;
+        EvacuatingCompactor MM(H, C);
+        CohenPetrankProgram PF(M, N, C, ProgOpts);
+        Execution E(MM, PF, M);
+        ExecutionResult R = E.run();
+        return {Row()
+                    .addCell(uint64_t(C))
+                    .addCell(Variant)
+                    .addCell(uint64_t(PF.sigma()))
+                    .addCell(R.wasteFactor(M), 3)
+                    .addCell(PF.targetWasteFactor(), 3)
+                    .addCell(R.MovedWords)};
+      },
+      Sink);
+  return Sink.emit(Opts) ? 0 : 1;
 }

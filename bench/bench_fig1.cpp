@@ -9,11 +9,15 @@
 // bound (trivial at these parameters) and Robson's no-compaction bound.
 //
 // Usage: bench_fig1 [M=256M] [n=1M] [cmin=10] [cmax=100] [csv=0]
+//                   [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
 #include "bounds/BoundSweep.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/AsciiChart.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
@@ -36,21 +40,28 @@ int main(int argc, char **argv) {
             << " Bendersky-Petrank POPL 2011 (clamped at the trivial 1);\n"
             << "# robson: the no-compaction ceiling.\n";
 
-  std::vector<Fig1Point> Series = sweepFig1(M, N, CMin, CMax);
-  Table T({"c", "new_lower", "sigma", "prior_lower", "robson"});
+  ExperimentGrid Grid;
+  Grid.addRangeAxis("c", CMin, CMax);
+  std::vector<Fig1Point> Series =
+      makeRunner(Opts).map<Fig1Point>(Grid, [&](const GridCell &Cell) {
+        unsigned C = unsigned(Cell.num("c"));
+        return sweepFig1(M, N, C, C).front();
+      });
+
+  ResultSink Sink({"c", "new_lower", "sigma", "prior_lower", "robson"});
   ChartSeries NewCurve{"Theorem 1 lower bound (this paper)", '#', {}};
   ChartSeries PriorCurve{"POPL 2011 lower bound", '.', {}};
   for (const Fig1Point &Pt : Series) {
-    T.beginRow();
-    T.addCell(uint64_t(Pt.C));
-    T.addCell(Pt.NewLower, 3);
-    T.addCell(uint64_t(Pt.Sigma));
-    T.addCell(Pt.PriorLower, 3);
-    T.addCell(Pt.RobsonLower, 3);
+    Sink.append(Row()
+                    .addCell(uint64_t(Pt.C))
+                    .addCell(Pt.NewLower, 3)
+                    .addCell(uint64_t(Pt.Sigma))
+                    .addCell(Pt.PriorLower, 3)
+                    .addCell(Pt.RobsonLower, 3));
     NewCurve.Y.push_back(Pt.NewLower);
     PriorCurve.Y.push_back(Pt.PriorLower);
   }
-  if (!emitTable(T, Opts))
+  if (!Sink.emit(Opts))
     return 1;
 
   AsciiChart::Options ChartOpts;

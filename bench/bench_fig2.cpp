@@ -9,11 +9,15 @@
 // n ranges over 1KB .. 1GB.
 //
 // Usage: bench_fig2 [c=100] [lognmin=10] [lognmax=30] [ratio=256] [csv=0]
+//                   [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
 #include "bounds/BoundSweep.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/AsciiChart.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
@@ -32,21 +36,28 @@ int main(int argc, char **argv) {
   std::cout << "# Figure 2: lower bound on the waste factor h as a"
             << " function of n (c=" << C << ", M=" << Ratio << "n)\n";
 
-  std::vector<Fig2Point> Series = sweepFig2(C, LogNMin, LogNMax, Ratio);
-  Table T({"n", "log2(n)", "new_lower", "sigma", "prior_lower"});
+  ExperimentGrid Grid;
+  Grid.addRangeAxis("log2n", LogNMin, LogNMax);
+  std::vector<Fig2Point> Series =
+      makeRunner(Opts).map<Fig2Point>(Grid, [&](const GridCell &Cell) {
+        unsigned LogN = unsigned(Cell.num("log2n"));
+        return sweepFig2(C, LogN, LogN, Ratio).front();
+      });
+
+  ResultSink Sink({"n", "log2(n)", "new_lower", "sigma", "prior_lower"});
   ChartSeries NewCurve{"Theorem 1 lower bound (this paper)", '#', {}};
   ChartSeries PriorCurve{"POPL 2011 lower bound", '.', {}};
   for (const Fig2Point &Pt : Series) {
-    T.beginRow();
-    T.addCell(formatWords(Pt.N));
-    T.addCell(uint64_t(Pt.LogN));
-    T.addCell(Pt.NewLower, 3);
-    T.addCell(uint64_t(Pt.Sigma));
-    T.addCell(Pt.PriorLower, 3);
+    Sink.append(Row()
+                    .addCell(formatWords(Pt.N))
+                    .addCell(uint64_t(Pt.LogN))
+                    .addCell(Pt.NewLower, 3)
+                    .addCell(uint64_t(Pt.Sigma))
+                    .addCell(Pt.PriorLower, 3));
     NewCurve.Y.push_back(Pt.NewLower);
     PriorCurve.Y.push_back(Pt.PriorLower);
   }
-  if (!emitTable(T, Opts))
+  if (!Sink.emit(Opts))
     return 1;
 
   AsciiChart::Options ChartOpts;

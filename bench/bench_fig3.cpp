@@ -10,11 +10,15 @@
 // OCR-damaged recursion).
 //
 // Usage: bench_fig3 [M=256M] [n=1M] [cmin=10] [cmax=100] [csv=0]
+//                   [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
 #include "bounds/BoundSweep.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/AsciiChart.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
@@ -39,25 +43,34 @@ int main(int argc, char **argv) {
             << " new_upper = Theorem 2 (reconstructed);"
             << " best = min of both.\n";
 
-  Table T({"c", "new_upper", "prior_upper", "best", "improvement_%"});
+  ExperimentGrid Grid;
+  Grid.addRangeAxis("c", CMin, CMax);
+  std::vector<Fig3Point> Series =
+      makeRunner(Opts).map<Fig3Point>(Grid, [&](const GridCell &Cell) {
+        unsigned C = unsigned(Cell.num("c"));
+        return sweepFig3(M, N, C, C).front();
+      });
+
+  ResultSink Sink({"c", "new_upper", "prior_upper", "best", "improvement_%"});
   ChartSeries NewCurve{"Theorem 2 upper bound (reconstructed)", '#', {}};
   ChartSeries PriorCurve{"prior best: min((c+1)M, 2*Robson)", '.', {}};
-  for (const Fig3Point &Pt : sweepFig3(M, N, CMin, CMax)) {
+  for (const Fig3Point &Pt : Series) {
     NewCurve.Y.push_back(Pt.NewUpper); // NaN gaps outside the domain
     PriorCurve.Y.push_back(Pt.PriorUpper);
-    T.beginRow();
-    T.addCell(uint64_t(Pt.C));
+    Row R;
+    R.addCell(uint64_t(Pt.C));
     if (std::isnan(Pt.NewUpper))
-      T.addCell(std::string("n/a"));
+      R.addCell(std::string("n/a"));
     else
-      T.addCell(Pt.NewUpper, 3);
-    T.addCell(Pt.PriorUpper, 3);
-    T.addCell(Pt.BestUpper, 3);
+      R.addCell(Pt.NewUpper, 3);
+    R.addCell(Pt.PriorUpper, 3);
+    R.addCell(Pt.BestUpper, 3);
     double Improvement =
         100.0 * (Pt.PriorUpper - Pt.BestUpper) / Pt.PriorUpper;
-    T.addCell(Improvement, 1);
+    R.addCell(Improvement, 1);
+    Sink.append(std::move(R));
   }
-  if (!emitTable(T, Opts))
+  if (!Sink.emit(Opts))
     return 1;
 
   AsciiChart::Options ChartOpts;

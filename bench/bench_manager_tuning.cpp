@@ -15,7 +15,7 @@
 // with aggressiveness at low move cost.
 //
 // Usage: bench_manager_tuning [logm=15] [logn=8] [c=50]
-//        [thresholds=0.05,0.1,0.25,0.5,0.9] [csv=0] [out=]
+//        [thresholds=0.05,0.1,0.25,0.5,0.9] [csv=0] [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +24,9 @@
 #include "driver/Execution.h"
 #include "mm/EvacuatingCompactor.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/MathUtils.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
@@ -49,42 +52,45 @@ int main(int argc, char **argv) {
             << "# The adversary's density 2^-sigma > 1/c makes aggressive"
             << " evacuation a budget sink against PF.\n";
 
-  Table T({"threshold", "workload", "measured_waste", "moved_words",
-           "evacuations", "budget_used_%"});
-  for (double Threshold : Thresholds) {
-    for (int Which = 0; Which != 2; ++Which) {
-      Heap H;
-      EvacuatingCompactor::Options MOpts;
-      MOpts.DensityThreshold = Threshold;
-      EvacuatingCompactor MM(H, C, MOpts);
-      std::unique_ptr<Program> Prog;
-      std::string Workload;
-      if (Which == 0) {
-        Prog = std::make_unique<CohenPetrankProgram>(M, N, C);
-        Workload = "cohen-petrank";
-      } else {
-        RandomChurnProgram::Options POpts;
-        POpts.Steps = 48;
-        POpts.MaxLogSize = LogN;
-        Prog = std::make_unique<RandomChurnProgram>(M, POpts);
-        Workload = "random-churn";
-      }
-      Execution E(MM, *Prog, M);
-      ExecutionResult R = E.run();
-      double BudgetPct = R.TotalAllocatedWords == 0
-                             ? 0.0
-                             : 100.0 * double(R.MovedWords) * C /
-                                   double(R.TotalAllocatedWords);
-      T.beginRow();
-      T.addCell(Threshold, 2);
-      T.addCell(Workload);
-      T.addCell(R.wasteFactor(M), 3);
-      T.addCell(R.MovedWords);
-      T.addCell(MM.numEvacuations());
-      T.addCell(BudgetPct, 1);
-    }
-  }
-  if (!emitTable(T, Opts))
-    return 1;
-  return 0;
+  ExperimentGrid Grid;
+  Grid.addAxis("threshold", Thresholds);
+  Grid.addAxis("workload",
+               std::vector<std::string>{"cohen-petrank", "random-churn"});
+
+  ResultSink Sink({"threshold", "workload", "measured_waste", "moved_words",
+                   "evacuations", "budget_used_%"});
+  makeRunner(Opts).runRows(
+      Grid,
+      [&](const GridCell &Cell) {
+        double Threshold = Cell.num("threshold");
+        const std::string &Workload = Cell.str("workload");
+        Heap H;
+        EvacuatingCompactor::Options MOpts;
+        MOpts.DensityThreshold = Threshold;
+        EvacuatingCompactor MM(H, C, MOpts);
+        std::unique_ptr<Program> Prog;
+        if (Workload == "cohen-petrank") {
+          Prog = std::make_unique<CohenPetrankProgram>(M, N, C);
+        } else {
+          RandomChurnProgram::Options POpts;
+          POpts.Steps = 48;
+          POpts.MaxLogSize = LogN;
+          Prog = std::make_unique<RandomChurnProgram>(M, POpts);
+        }
+        Execution E(MM, *Prog, M);
+        ExecutionResult R = E.run();
+        double BudgetPct = R.TotalAllocatedWords == 0
+                               ? 0.0
+                               : 100.0 * double(R.MovedWords) * C /
+                                     double(R.TotalAllocatedWords);
+        return Row()
+            .addCell(Threshold, 2)
+            .addCell(Workload)
+            .addCell(R.wasteFactor(M), 3)
+            .addCell(R.MovedWords)
+            .addCell(MM.numEvacuations())
+            .addCell(BudgetPct, 1);
+      },
+      Sink);
+  return Sink.emit(Opts) ? 0 : 1;
 }

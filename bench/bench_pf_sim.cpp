@@ -12,6 +12,7 @@
 // and is the only row allowed below h.
 //
 // Usage: bench_pf_sim [logm=16] [logn=9] [cs=10,25,50,75,100] [csv=0]
+//                     [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +21,9 @@
 #include "driver/Execution.h"
 #include "mm/ManagerFactory.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
@@ -41,53 +45,56 @@ int main(int argc, char **argv) {
             << "# Every c-partial row must satisfy measured >= h;"
             << " sliding-unlimited is the non-c-partial reference.\n";
 
+  // The last policy value is the non-c-partial full compactor; keeping it
+  // on the axis preserves the historical row order (reference row last
+  // within each c group).
+  const std::string Reference = "sliding-unlimited*";
   std::vector<std::string> Policies = {"first-fit",  "best-fit",
                                        "segregated-fit", "evacuating",
                                        "hybrid",     "sliding",
                                        "paged-space",
-                                       "bump-compactor"};
+                                       "bump-compactor", Reference};
 
-  Table T({"c", "policy", "measured_HS", "measured_waste", "theory_h",
-           "sigma", "moved_words", "budget_used_%"});
-  for (double C : Cs) {
-    for (const std::string &Policy : Policies) {
-      Heap H;
-      auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
-      CohenPetrankProgram PF(M, N, C);
-      Execution E(*MM, PF, M);
-      ExecutionResult R = E.run();
-      double BudgetPct =
-          R.TotalAllocatedWords == 0
-              ? 0.0
-              : 100.0 * double(R.MovedWords) * C /
-                    double(R.TotalAllocatedWords);
-      T.beginRow();
-      T.addCell(uint64_t(C));
-      T.addCell(Policy);
-      T.addCell(R.HeapSize);
-      T.addCell(R.wasteFactor(M), 3);
-      T.addCell(PF.targetWasteFactor(), 3);
-      T.addCell(uint64_t(PF.sigma()));
-      T.addCell(R.MovedWords);
-      T.addCell(BudgetPct, 1);
-    }
-    // The non-c-partial reference: full compaction reaches overhead ~1.
-    Heap H;
-    auto MM = createManager("sliding-unlimited", H, 0.0);
-    CohenPetrankProgram PF(M, N, C);
-    Execution E(*MM, PF, M);
-    ExecutionResult R = E.run();
-    T.beginRow();
-    T.addCell(uint64_t(C));
-    T.addCell(std::string("sliding-unlimited*"));
-    T.addCell(R.HeapSize);
-    T.addCell(R.wasteFactor(M), 3);
-    T.addCell(PF.targetWasteFactor(), 3);
-    T.addCell(uint64_t(PF.sigma()));
-    T.addCell(R.MovedWords);
-    T.addCell(std::string("n/a"));
-  }
-  if (!emitTable(T, Opts))
+  ExperimentGrid Grid;
+  Grid.addAxis("c", Cs);
+  Grid.addAxis("policy", Policies);
+
+  ResultSink Sink({"c", "policy", "measured_HS", "measured_waste", "theory_h",
+                   "sigma", "moved_words", "budget_used_%"});
+  makeRunner(Opts).runRows(
+      Grid,
+      [&](const GridCell &Cell) {
+        double C = Cell.num("c");
+        const std::string &Policy = Cell.str("policy");
+        bool IsReference = Policy == Reference;
+        Heap H;
+        auto MM = IsReference
+                      ? createManager("sliding-unlimited", H, 0.0)
+                      : createManager(Policy, H, C, /*LiveBound=*/M);
+        CohenPetrankProgram PF(M, N, C);
+        Execution E(*MM, PF, M);
+        ExecutionResult R = E.run();
+        Row Out;
+        Out.addCell(uint64_t(C))
+            .addCell(Policy)
+            .addCell(R.HeapSize)
+            .addCell(R.wasteFactor(M), 3)
+            .addCell(PF.targetWasteFactor(), 3)
+            .addCell(uint64_t(PF.sigma()))
+            .addCell(R.MovedWords);
+        if (IsReference) {
+          Out.addCell(std::string("n/a"));
+        } else {
+          double BudgetPct = R.TotalAllocatedWords == 0
+                                 ? 0.0
+                                 : 100.0 * double(R.MovedWords) * C /
+                                       double(R.TotalAllocatedWords);
+          Out.addCell(BudgetPct, 1);
+        }
+        return Out;
+      },
+      Sink);
+  if (!Sink.emit(Opts))
     return 1;
 
   std::cout << "\n# (*) not a c-partial manager: unlimited compaction"

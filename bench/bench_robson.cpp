@@ -11,6 +11,7 @@
 // it exactly.
 //
 // Usage: bench_robson [logm=14] [lognmin=4] [lognmax=8] [csv=0]
+//                     [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +20,9 @@
 #include "driver/Execution.h"
 #include "mm/ManagerFactory.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
@@ -38,27 +42,32 @@ int main(int argc, char **argv) {
             << "# measured_waste >= theory_waste is the theorem;"
             << " first-fit matches it exactly.\n";
 
-  Table T({"log2(n)", "policy", "measured_HS", "measured_waste",
-           "theory_waste", "ratio"});
-  for (unsigned LogN = LogNMin; LogN <= LogNMax; ++LogN) {
-    BoundParams P{M, pow2(LogN), 10.0};
-    double Theory = robsonWasteFactor(P);
-    for (const std::string &Policy : nonMovingManagerPolicies()) {
-      Heap H;
-      auto MM = createManager(Policy, H, /*C=*/1e18);
-      RobsonProgram PR(M, LogN);
-      Execution E(*MM, PR, M);
-      ExecutionResult R = E.run();
-      T.beginRow();
-      T.addCell(uint64_t(LogN));
-      T.addCell(Policy);
-      T.addCell(R.HeapSize);
-      T.addCell(R.wasteFactor(M), 3);
-      T.addCell(Theory, 3);
-      T.addCell(R.wasteFactor(M) / Theory, 3);
-    }
-  }
-  if (!emitTable(T, Opts))
-    return 1;
-  return 0;
+  ExperimentGrid Grid;
+  Grid.addRangeAxis("log2n", LogNMin, LogNMax);
+  Grid.addAxis("policy", nonMovingManagerPolicies());
+
+  ResultSink Sink({"log2(n)", "policy", "measured_HS", "measured_waste",
+                   "theory_waste", "ratio"});
+  makeRunner(Opts).runRows(
+      Grid,
+      [&](const GridCell &Cell) {
+        unsigned LogN = unsigned(Cell.num("log2n"));
+        const std::string &Policy = Cell.str("policy");
+        BoundParams P{M, pow2(LogN), 10.0};
+        double Theory = robsonWasteFactor(P);
+        Heap H;
+        auto MM = createManager(Policy, H, /*C=*/1e18);
+        RobsonProgram PR(M, LogN);
+        Execution E(*MM, PR, M);
+        ExecutionResult R = E.run();
+        return Row()
+            .addCell(uint64_t(LogN))
+            .addCell(Policy)
+            .addCell(R.HeapSize)
+            .addCell(R.wasteFactor(M), 3)
+            .addCell(Theory, 3)
+            .addCell(R.wasteFactor(M) / Theory, 3);
+      },
+      Sink);
+  return Sink.emit(Opts) ? 0 : 1;
 }

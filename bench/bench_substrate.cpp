@@ -16,6 +16,8 @@
 #include "heap/FreeSpaceIndex.h"
 #include "mm/ManagerFactory.h"
 #include "mm/SequentialFitManagers.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/Runner.h"
 #include "support/MathUtils.h"
 #include "support/Random.h"
 
@@ -126,6 +128,34 @@ void BM_CohenPetrankPipeline(benchmark::State &State) {
 BENCHMARK(BM_CohenPetrankPipeline)
     ->Args({12, 7})
     ->Args({14, 8})
+    ->Unit(benchmark::kMillisecond);
+
+/// Dispatch overhead of the experiment runner itself: a grid of cheap
+/// simulation cells, at 1 worker (serial fallback) and at a small pool.
+/// Guards the fan-out cost the table benches now pay per cell.
+void BM_RunnerGridSweep(benchmark::State &State) {
+  RunnerOptions RO;
+  RO.Threads = unsigned(State.range(0));
+  RO.Progress = 0;
+  Runner R(RO);
+  for (auto _ : State) {
+    ExperimentGrid Grid;
+    Grid.addRangeAxis("logm", 9, 9 + uint64_t(State.range(1)) - 1);
+    std::vector<uint64_t> Sizes = R.map<uint64_t>(
+        Grid, [](const GridCell &Cell) {
+          const uint64_t M = pow2(unsigned(Cell.num("logm")));
+          Heap H;
+          FirstFitManager MM(H, 1e18);
+          RobsonProgram PR(M, 4);
+          Execution E(MM, PR, M);
+          return E.run().HeapSize;
+        });
+    benchmark::DoNotOptimize(Sizes.data());
+  }
+}
+BENCHMARK(BM_RunnerGridSweep)
+    ->Args({1, 8})
+    ->Args({4, 8})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

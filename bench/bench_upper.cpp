@@ -10,7 +10,11 @@
 // (no-compaction, general programs) and the reconstructed Theorem 2.
 // Every measured waste must stay below every applicable upper bound.
 //
-// Usage: bench_upper [logm=15] [logn=8] [c=50] [csv=0]
+// Each (policy, workload) pair is one grid cell; stochastic workloads
+// average over per-cell seeds split from the cell's deterministic seed.
+//
+// Usage: bench_upper [logm=15] [logn=8] [c=50] [seeds=3] [csv=0]
+//                    [threads=0] [out=]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,10 +29,13 @@
 #include "mm/ManagerFactory.h"
 #include "support/Statistics.h"
 #include "BenchUtils.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
+#include "support/Random.h"
 #include "support/Table.h"
 
-#include <functional>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -40,6 +47,7 @@ int main(int argc, char **argv) {
   unsigned LogM = unsigned(Opts.getUInt("logm", 15));
   unsigned LogN = unsigned(Opts.getUInt("logn", 8));
   double C = Opts.getDouble("c", 50.0);
+  uint64_t NumSeeds = Opts.getUInt("seeds", 3);
   uint64_t M = pow2(LogM);
   uint64_t N = pow2(LogN);
   BoundParams P{M, N, C};
@@ -58,96 +66,84 @@ int main(int argc, char **argv) {
                                        "first-fit",      "evacuating",
                                        "hybrid",         "paged-space",
                                        "bump-compactor"};
+  std::vector<std::string> Workloads = {
+      "robson",     "cohen-petrank", "random-churn", "markov-phase",
+      "stack-lifo", "queue-fifo",    "sawtooth"};
 
-  // Stochastic workloads are averaged over seeds; the adversaries are
-  // deterministic and run once.
-  Table T({"workload", "policy", "waste_mean", "waste_min", "waste_max",
-           "moved_mean"});
-  auto RunStats =
-      [&](const std::string &Workload, const std::string &Policy,
-          const std::function<std::unique_ptr<Program>(uint64_t)> &Make,
-          const std::vector<uint64_t> &Seeds) {
+  ExperimentGrid Grid;
+  Grid.addAxis("policy", Policies);
+  Grid.addAxis("workload", Workloads);
+
+  ResultSink Sink({"workload", "policy", "waste_mean", "waste_min",
+                   "waste_max", "moved_mean"});
+  makeRunner(Opts).runRows(
+      Grid,
+      [&](const GridCell &Cell) {
+        const std::string &Policy = Cell.str("policy");
+        const std::string &Workload = Cell.str("workload");
+
+        // The adversaries are deterministic and run once; the stochastic
+        // workloads run NumSeeds times on independent streams split from
+        // the cell seed (so results depend only on the cell, never on
+        // which thread ran it).
+        auto MakeProgram =
+            [&](uint64_t Seed) -> std::unique_ptr<Program> {
+          if (Workload == "robson")
+            return std::make_unique<RobsonProgram>(M, LogN);
+          if (Workload == "cohen-petrank")
+            return std::make_unique<CohenPetrankProgram>(M, N, C);
+          if (Workload == "random-churn") {
+            RandomChurnProgram::Options O;
+            O.Steps = 48;
+            O.MaxLogSize = LogN;
+            O.Seed = Seed;
+            return std::make_unique<RandomChurnProgram>(M, O);
+          }
+          if (Workload == "markov-phase") {
+            MarkovPhaseProgram::Options O;
+            O.MaxLogSize = LogN;
+            O.Seed = Seed;
+            return std::make_unique<MarkovPhaseProgram>(M, O);
+          }
+          if (Workload == "stack-lifo") {
+            StackProgram::Options O;
+            O.MaxLogSize = LogN;
+            O.Seed = Seed;
+            return std::make_unique<StackProgram>(M, O);
+          }
+          if (Workload == "queue-fifo") {
+            QueueProgram::Options O;
+            O.MaxLogSize = LogN;
+            O.Seed = Seed;
+            return std::make_unique<QueueProgram>(M, O);
+          }
+          SawtoothProgram::Options O;
+          O.MaxLogSize = LogN;
+          O.Seed = Seed;
+          return std::make_unique<SawtoothProgram>(M, O);
+        };
+        bool Deterministic =
+            Workload == "robson" || Workload == "cohen-petrank";
+        uint64_t Runs = Deterministic ? 1 : NumSeeds;
+
         RunningStat Waste, Moved;
-        for (uint64_t Seed : Seeds) {
+        for (uint64_t K = 0; K != Runs; ++K) {
           Heap H;
           auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
-          auto Prog = Make(Seed);
+          auto Prog = MakeProgram(splitSeed(Cell.seed(), K));
           Execution E(*MM, *Prog, M);
           ExecutionResult R = E.run();
           Waste.add(R.wasteFactor(M));
           Moved.add(double(R.MovedWords));
         }
-        T.beginRow();
-        T.addCell(Workload);
-        T.addCell(Policy);
-        T.addCell(Waste.mean(), 3);
-        T.addCell(Waste.min(), 3);
-        T.addCell(Waste.max(), 3);
-        T.addCell(uint64_t(Moved.mean()));
-      };
-  auto RunOne = [&](const std::string &Workload, const std::string &Policy,
-                    std::unique_ptr<Program> Prog) {
-    Heap H;
-    auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
-    Execution E(*MM, *Prog, M);
-    ExecutionResult R = E.run();
-    T.beginRow();
-    T.addCell(Workload);
-    T.addCell(Policy);
-    T.addCell(R.wasteFactor(M), 3);
-    T.addCell(R.wasteFactor(M), 3);
-    T.addCell(R.wasteFactor(M), 3);
-    T.addCell(R.MovedWords);
-  };
-  const std::vector<uint64_t> Seeds = {1, 2, 3};
-
-  for (const std::string &Policy : Policies) {
-    RunOne("robson", Policy, std::make_unique<RobsonProgram>(M, LogN));
-    RunOne("cohen-petrank", Policy,
-           std::make_unique<CohenPetrankProgram>(M, N, C));
-    RunStats("random-churn", Policy,
-             [&](uint64_t Seed) -> std::unique_ptr<Program> {
-               RandomChurnProgram::Options O;
-               O.Steps = 48;
-               O.MaxLogSize = LogN;
-               O.Seed = Seed;
-               return std::make_unique<RandomChurnProgram>(M, O);
-             },
-             Seeds);
-    RunStats("markov-phase", Policy,
-             [&](uint64_t Seed) -> std::unique_ptr<Program> {
-               MarkovPhaseProgram::Options O;
-               O.MaxLogSize = LogN;
-               O.Seed = Seed;
-               return std::make_unique<MarkovPhaseProgram>(M, O);
-             },
-             Seeds);
-    RunStats("stack-lifo", Policy,
-             [&](uint64_t Seed) -> std::unique_ptr<Program> {
-               StackProgram::Options O;
-               O.MaxLogSize = LogN;
-               O.Seed = Seed;
-               return std::make_unique<StackProgram>(M, O);
-             },
-             Seeds);
-    RunStats("queue-fifo", Policy,
-             [&](uint64_t Seed) -> std::unique_ptr<Program> {
-               QueueProgram::Options O;
-               O.MaxLogSize = LogN;
-               O.Seed = Seed;
-               return std::make_unique<QueueProgram>(M, O);
-             },
-             Seeds);
-    RunStats("sawtooth", Policy,
-             [&](uint64_t Seed) -> std::unique_ptr<Program> {
-               SawtoothProgram::Options O;
-               O.MaxLogSize = LogN;
-               O.Seed = Seed;
-               return std::make_unique<SawtoothProgram>(M, O);
-             },
-             Seeds);
-  }
-  if (!emitTable(T, Opts))
-    return 1;
-  return 0;
+        return Row()
+            .addCell(Workload)
+            .addCell(Policy)
+            .addCell(Waste.mean(), 3)
+            .addCell(Waste.min(), 3)
+            .addCell(Waste.max(), 3)
+            .addCell(uint64_t(Moved.mean()));
+      },
+      Sink);
+  return Sink.emit(Opts) ? 0 : 1;
 }

@@ -14,6 +14,14 @@
 /// invariants — the c-partial budget (the manager never moves more than
 /// 1/c of the allocated space) and the program's live bound.
 ///
+/// \par Thread compatibility
+/// Execution is thread-compatible: neither it nor the Program / Memory-
+/// Manager / Heap stack it drives keeps global or static mutable state,
+/// so independent executions (each with a private Heap, manager, and
+/// program instance) may run concurrently on distinct threads. This is
+/// the contract the experiment runner (src/runner/) relies on; one
+/// Execution instance is not safe to share across threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PCBOUND_DRIVER_EXECUTION_H

@@ -17,6 +17,13 @@
 /// a word has been used it counts forever (Section 4: "the chunk that it
 /// did occupy will remain part of the heap forever").
 ///
+/// \par Thread compatibility
+/// Heap is thread-compatible: it has no global or static mutable state,
+/// so distinct instances may be used concurrently from distinct threads
+/// with no synchronization (the experiment runner in src/runner/ gives
+/// every grid cell its own Heap). A single instance must not be shared
+/// across threads without external locking.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PCBOUND_HEAP_HEAP_H

@@ -41,6 +41,17 @@ uint64_t Rng::next() {
   return Result;
 }
 
+uint64_t pcb::splitSeed(uint64_t BaseSeed, uint64_t StreamIndex) {
+  // The (StreamIndex+1)-th SplitMix64 output for BaseSeed: the generator
+  // advances its state by the golden-ratio increment per draw, so the
+  // k-th output is mix(BaseSeed + k * increment) — computable in O(1).
+  uint64_t X = BaseSeed + (StreamIndex + 1) * 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 uint64_t Rng::nextBelow(uint64_t Bound) {
   assert(Bound != 0 && "nextBelow(0) is meaningless");
   // Rejection sampling: draw until the value falls in the largest multiple

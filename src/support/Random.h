@@ -53,6 +53,15 @@ private:
   uint64_t State[4];
 };
 
+/// Derives an independent child seed for stream \p StreamIndex of a sweep
+/// seeded with \p BaseSeed. Child k is the (k+1)-th output of the
+/// SplitMix64 stream seeded with BaseSeed, so child streams are pairwise
+/// independent, reproducible, and depend only on (BaseSeed, StreamIndex) —
+/// never on the order in which streams are drawn. The experiment runner
+/// uses this to give every grid cell its own Rng regardless of which
+/// thread executes it.
+uint64_t splitSeed(uint64_t BaseSeed, uint64_t StreamIndex);
+
 } // namespace pcb
 
 #endif // PCBOUND_SUPPORT_RANDOM_H

@@ -13,6 +13,9 @@
 //   pcbound replay   trace=FILE [policy= c= logm=]
 //                                               re-run a saved trace's
 //                                               program behaviour elsewhere
+//   pcbound sweep    [program= policies= cs= logm= logn= --threads=N]
+//                                               run a (policy x c) grid of
+//                                               executions in parallel
 //   pcbound policies                            list manager policies
 //
 //===----------------------------------------------------------------------===//
@@ -30,12 +33,16 @@
 #include "heap/HeapImage.h"
 #include "heap/Metrics.h"
 #include "mm/ManagerFactory.h"
+#include "runner/ExperimentGrid.h"
+#include "runner/ResultSink.h"
+#include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 using namespace pcb;
 
@@ -49,6 +56,8 @@ int usage() {
       << "  simulate  [program=cohen-petrank policy=evacuating logm=14\n"
       << "             logn=8 c=50 trace=FILE verbose=0]\n"
       << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
+      << "  sweep     [program=cohen-petrank policies=all cs=10,25,50,75,100\n"
+      << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
       << "          stack-lifo, queue-fifo, sawtooth,\n"
@@ -235,6 +244,94 @@ int cmdReplay(const OptionParser &Opts) {
   return 0;
 }
 
+int cmdSweep(const OptionParser &Opts) {
+  std::string ProgName = Opts.getString("program", "cohen-petrank");
+  unsigned LogM = unsigned(Opts.getUInt("logm", 14));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+  uint64_t M = pow2(LogM);
+
+  std::vector<double> Cs;
+  {
+    std::istringstream IS(Opts.getString("cs", "10,25,50,75,100"));
+    std::string Item;
+    while (std::getline(IS, Item, ',')) {
+      if (Item.empty())
+        continue;
+      char *End = nullptr;
+      double Value = std::strtod(Item.c_str(), &End);
+      if (!End || *End != '\0') {
+        std::cerr << "error: invalid number '" << Item << "' in cs=\n";
+        return 1;
+      }
+      Cs.push_back(Value);
+    }
+  }
+  std::vector<std::string> Policies;
+  std::string PolicyList = Opts.getString("policies", "all");
+  if (PolicyList == "all") {
+    Policies = allManagerPolicies();
+  } else {
+    std::istringstream IS(PolicyList);
+    std::string Item;
+    while (std::getline(IS, Item, ','))
+      if (!Item.empty())
+        Policies.push_back(Item);
+  }
+
+  // Validate every name once, serially, before fanning out.
+  for (const std::string &Policy : Policies) {
+    Heap Probe;
+    if (!createManager(Policy, Probe, 50.0, /*LiveBound=*/M)) {
+      std::cerr << "error: unknown policy '" << Policy << "'\n";
+      return 1;
+    }
+  }
+  if (!createProgram(ProgName, M, LogN, 50.0)) {
+    std::cerr << "error: unknown program '" << ProgName << "'\n";
+    return 1;
+  }
+
+  RunnerOptions RO;
+  RO.Threads = unsigned(Opts.getUInt("threads", 0));
+  if (Opts.has("progress"))
+    RO.Progress = Opts.getBool("progress", true) ? 1 : 0;
+  Runner R(RO);
+
+  std::cout << "# sweep: " << ProgName << " vs " << Policies.size()
+            << " policies x " << Cs.size() << " quotas (M=" << formatWords(M)
+            << ", n=" << formatWords(pow2(LogN)) << ", threads="
+            << R.threads() << ")\n";
+
+  ExperimentGrid Grid;
+  Grid.addAxis("c", Cs);
+  Grid.addAxis("policy", Policies);
+
+  ResultSink Sink({"c", "policy", "measured_HS", "measured_waste",
+                   "moved_words", "allocs", "frees", "steps"});
+  R.runRows(
+      Grid,
+      [&](const GridCell &Cell) {
+        double C = Cell.num("c");
+        const std::string &Policy = Cell.str("policy");
+        Heap H;
+        auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+        auto Prog = createProgram(ProgName, M, LogN, C);
+        Execution E(*MM, *Prog, M);
+        ExecutionResult Res = E.run();
+        return Row()
+            .addCell(formatDouble(C, 0))
+            .addCell(Policy)
+            .addCell(Res.HeapSize)
+            .addCell(Res.wasteFactor(M), 3)
+            .addCell(Res.MovedWords)
+            .addCell(Res.NumAllocations)
+            .addCell(Res.NumFrees)
+            .addCell(Res.Steps);
+      },
+      Sink);
+  return Sink.emit(Opts) ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -250,6 +347,8 @@ int main(int argc, char **argv) {
     return cmdSimulate(Opts);
   if (Command == "replay")
     return cmdReplay(Opts);
+  if (Command == "sweep")
+    return cmdSweep(Opts);
   if (Command == "policies") {
     std::cout << "# manager policies\n";
     for (const std::string &Policy : allManagerPolicies())
