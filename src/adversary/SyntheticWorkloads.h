@@ -24,6 +24,7 @@
 #include "support/Random.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace pcb {
@@ -98,7 +99,22 @@ struct TraceOp {
   static TraceOp release(uint64_t AllocIndex) {
     return TraceOp{Kind::Free, AllocIndex};
   }
+
+  bool operator==(const TraceOp &Other) const {
+    return Op == Other.Op && Value == Other.Value;
+  }
 };
+
+/// Structural validity of a trace: every Free names an allocation that
+/// happened earlier in the trace, and no allocation is freed twice. When
+/// \p Why is non-null and the trace is invalid, it receives a one-line
+/// diagnosis naming the offending operation.
+bool validateTrace(const std::vector<TraceOp> &Trace,
+                   std::string *Why = nullptr);
+
+/// Peak simultaneous live words over the whole trace — the smallest live
+/// bound M under which TraceReplayProgram can run it. O(trace).
+uint64_t tracePeakLiveWords(const std::vector<TraceOp> &Trace);
 
 /// Replays an explicit trace, one operation per step.
 class TraceReplayProgram : public Program {

@@ -33,10 +33,19 @@ void pcb::writeEventLog(std::ostream &OS, const EventLog &Log) {
   }
 }
 
-bool pcb::readEventLog(std::istream &IS, EventLog &Log) {
+bool pcb::readEventLog(std::istream &IS, EventLog &Log,
+                       std::string *Error) {
   Log.clear();
+  uint64_t LineNo = 0;
+  auto Fail = [&](const std::string &Reason) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Reason;
+    Log.clear();
+    return false;
+  };
   std::string Line;
   while (std::getline(IS, Line)) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
     std::istringstream LS(Line);
@@ -47,39 +56,30 @@ bool pcb::readEventLog(std::istream &IS, EventLog &Log) {
     uint64_t Size;
     switch (Tag) {
     case 'A':
-      if (!(LS >> Id >> A >> Size)) {
-        Log.clear();
-        return false;
-      }
+      if (!(LS >> Id >> A >> Size))
+        return Fail("truncated or malformed allocation record");
       Log.record(HeapEvent::alloc(Id, A, Size));
       break;
     case 'F':
-      if (!(LS >> Id >> A >> Size)) {
-        Log.clear();
-        return false;
-      }
+      if (!(LS >> Id >> A >> Size))
+        return Fail("truncated or malformed free record");
       Log.record(HeapEvent::release(Id, A, Size));
       break;
     case 'M':
-      if (!(LS >> Id >> A >> B >> Size)) {
-        Log.clear();
-        return false;
-      }
+      if (!(LS >> Id >> A >> B >> Size))
+        return Fail("truncated or malformed move record");
       Log.record(HeapEvent::move(Id, A, B, Size));
       break;
     case 'S':
       Log.record(HeapEvent::stepEnd());
       break;
     default:
-      Log.clear();
-      return false;
+      return Fail(std::string("unknown record type '") + Tag + "'");
     }
     // Trailing garbage on a line is a parse error too.
     std::string Rest;
-    if (LS >> Rest) {
-      Log.clear();
-      return false;
-    }
+    if (LS >> Rest)
+      return Fail("trailing characters '" + Rest + "'");
   }
   return true;
 }

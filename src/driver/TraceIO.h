@@ -26,6 +26,7 @@
 #include "driver/EventLog.h"
 
 #include <iosfwd>
+#include <string>
 
 namespace pcb {
 
@@ -33,8 +34,11 @@ namespace pcb {
 void writeEventLog(std::ostream &OS, const EventLog &Log);
 
 /// Parses a log previously written by writeEventLog. Returns false (and
-/// leaves \p Log empty) on any malformed line.
-bool readEventLog(std::istream &IS, EventLog &Log);
+/// leaves \p Log empty) on any malformed line; when \p Error is non-null
+/// it then receives a diagnostic naming the line number and the reason
+/// (truncated record, unknown tag, trailing garbage).
+bool readEventLog(std::istream &IS, EventLog &Log,
+                  std::string *Error = nullptr);
 
 } // namespace pcb
 

@@ -43,6 +43,11 @@ void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
 
   // Find a predecessor to coalesce with.
   auto It = ByAddr.lower_bound(Start);
+  // A free block beginning inside [Start, End) means the range is being
+  // double-released (a block beginning exactly at End is fine: it is the
+  // coalescing successor).
+  assert((It == ByAddr.end() || It->first >= End) &&
+         "releasing a range that is partly free");
   if (It != ByAddr.begin()) {
     auto Prev = std::prev(It);
     assert(Prev->second <= Start && "releasing a range that is partly free");

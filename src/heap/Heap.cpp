@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 using namespace pcb;
 
@@ -68,22 +69,32 @@ uint64_t Heap::usedWordsIn(Addr Start, uint64_t Size) const {
   return Size - Free.freeWordsIn(Start, Start + Size);
 }
 
-bool Heap::checkConsistency() const {
+bool Heap::checkConsistency(std::string *Why) const {
+  auto Fail = [&](const std::string &Reason) {
+    if (Why)
+      *Why = Reason;
+    return false;
+  };
   uint64_t LiveWords = 0;
   uint64_t LiveCount = 0;
   Addr PrevEnd = 0;
   uint64_t MaxEnd = 0;
   for (const auto &[Address, Id] : LiveByAddr) {
     if (Id >= Objects.size())
-      return false;
+      return Fail("address index names an unknown object id " +
+                  std::to_string(Id));
     const Object &O = Objects[Id];
     if (!O.isLive() || O.Address != Address)
-      return false;
+      return Fail("address index disagrees with object table at id " +
+                  std::to_string(Id));
     if (Address < PrevEnd)
-      return false; // overlap with the previous object
+      return Fail("object " + std::to_string(Id) +
+                  " overlaps its predecessor at address " +
+                  std::to_string(Address));
     // Every word of the object must be absent from the free index.
     if (Free.freeWordsIn(Address, O.end()) != 0)
-      return false;
+      return Fail("object " + std::to_string(Id) +
+                  " overlaps the free index");
     PrevEnd = O.end();
     MaxEnd = std::max(MaxEnd, uint64_t(O.end()));
     LiveWords += O.Size;
@@ -94,13 +105,21 @@ bool Heap::checkConsistency() const {
   for (const Object &O : Objects)
     TableLive += O.isLive();
   if (TableLive != LiveCount)
-    return false;
+    return Fail("object table has " + std::to_string(TableLive) +
+                " live objects but the address index has " +
+                std::to_string(LiveCount));
   // The free index is the exact complement up to the high-water mark.
   if (Stats.HighWaterMark != 0 &&
       Free.freeWordsIn(0, Stats.HighWaterMark) !=
           Stats.HighWaterMark - LiveWords)
-    return false;
-  return LiveWords == Stats.LiveWords && MaxEnd <= Stats.HighWaterMark;
+    return Fail("free index is not the complement of the live objects "
+                "below the high-water mark");
+  if (LiveWords != Stats.LiveWords)
+    return Fail("LiveWords statistic " + std::to_string(Stats.LiveWords) +
+                " does not match recount " + std::to_string(LiveWords));
+  if (MaxEnd > Stats.HighWaterMark)
+    return Fail("an object ends above the recorded high-water mark");
+  return true;
 }
 
 std::vector<ObjectId> Heap::liveObjects() const {

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace pcb {
@@ -116,8 +117,10 @@ public:
   /// Full structural self-check: live objects are disjoint, the free
   /// index is exactly their complement, the live-by-address index agrees,
   /// and the statistics match a recount. O(objects + free blocks); meant
-  /// for tests.
-  bool checkConsistency() const;
+  /// for tests and the fuzzing oracle. When \p Why is non-null and the
+  /// check fails, it receives a one-line diagnosis of the first
+  /// inconsistency found.
+  bool checkConsistency(std::string *Why = nullptr) const;
 
   /// Ids of all live objects, in address order. O(live objects).
   std::vector<ObjectId> liveObjects() const;

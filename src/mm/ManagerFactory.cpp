@@ -69,3 +69,10 @@ std::vector<std::string> pcb::compactingManagerPolicies() {
   return {"evacuating", "hybrid", "paged-space", "sliding",
           "bump-compactor"};
 }
+
+bool pcb::isNonMovingPolicy(const std::string &Policy) {
+  for (const std::string &Name : nonMovingManagerPolicies())
+    if (Name == Policy)
+      return true;
+  return false;
+}

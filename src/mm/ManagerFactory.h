@@ -42,6 +42,11 @@ std::vector<std::string> nonMovingManagerPolicies();
 /// The c-partial compacting subset.
 std::vector<std::string> compactingManagerPolicies();
 
+/// True when \p Policy names a non-moving manager — one that must never
+/// emit a Move event. The fuzzing harness uses this for policy-relative
+/// invariants.
+bool isNonMovingPolicy(const std::string &Policy);
+
 } // namespace pcb
 
 #endif // PCBOUND_MM_MANAGERFACTORY_H

@@ -40,7 +40,11 @@ bool OptionParser::parseWordCount(const std::string &Text, uint64_t &Out) {
   uint64_t Value = 0;
   while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
                                   Text[Pos]))) {
-    Value = Value * 10 + uint64_t(Text[Pos] - '0');
+    uint64_t Digit = uint64_t(Text[Pos] - '0');
+    // Out-of-range counts are malformed, not silently wrapped.
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
     ++Pos;
   }
   if (Pos == 0)
@@ -64,6 +68,8 @@ bool OptionParser::parseWordCount(const std::string &Text, uint64_t &Out) {
     if (Pos != Text.size())
       return false;
   }
+  if (Scale != 1 && Value > UINT64_MAX / Scale)
+    return false;
   Out = Value * Scale;
   return true;
 }

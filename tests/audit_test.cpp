@@ -322,6 +322,95 @@ TEST(TraceIO, RecordedExecutionRoundTripsAndAuditsClean) {
   EXPECT_EQ(Original.TotalAllocatedWords, Reloaded.TotalAllocatedWords);
 }
 
+// The full record -> write -> read -> replay loop: re-executing the
+// reloaded trace must reproduce the original run's statistics exactly,
+// and the auditor must agree with both.
+TEST(TraceIO, ReplayOfReloadedTraceReproducesStats) {
+  const uint64_t M = pow2(11);
+  EventLog Log;
+  HeapStats Original;
+  {
+    Heap H;
+    auto MM = createManager("first-fit", H, 50.0);
+    RandomChurnProgram::Options CO;
+    CO.Seed = 17;
+    CO.MaxLogSize = 5;
+    RandomChurnProgram Churn(M, CO);
+    Execution::Options Opts;
+    Opts.Log = &Log;
+    Execution E(*MM, Churn, M, Opts);
+    E.run();
+    Original = H.stats();
+  }
+
+  std::stringstream SS;
+  writeEventLog(SS, Log);
+  EventLog Back;
+  std::string Error;
+  ASSERT_TRUE(readEventLog(SS, Back, &Error)) << Error;
+
+  Heap H;
+  auto MM = createManager("first-fit", H, 50.0);
+  TraceReplayProgram Replay(Back.toTrace());
+  Execution E(*MM, Replay, M);
+  E.run();
+  const HeapStats &Replayed = H.stats();
+  EXPECT_EQ(Replayed.HighWaterMark, Original.HighWaterMark);
+  EXPECT_EQ(Replayed.LiveWords, Original.LiveWords);
+  EXPECT_EQ(Replayed.PeakLiveWords, Original.PeakLiveWords);
+  EXPECT_EQ(Replayed.TotalAllocatedWords, Original.TotalAllocatedWords);
+  EXPECT_EQ(Replayed.NumAllocations, Original.NumAllocations);
+  EXPECT_EQ(Replayed.NumFrees, Original.NumFrees);
+  EXPECT_EQ(Replayed.MovedWords, Original.MovedWords);
+
+  AuditReport Audit = auditEvents(Back.events());
+  EXPECT_TRUE(Audit.Consistent);
+  EXPECT_TRUE(Audit.matches(Original));
+}
+
+TEST(TraceIO, DiagnosticNamesTheOffendingLine) {
+  struct Case {
+    const char *Input;
+    const char *ExpectedFragment;
+  };
+  for (const Case &C : {
+           Case{"# ok\nA 0 0 4\nX 1 2 3\n", "line 3: unknown record"},
+           Case{"A 0 0\n", "line 1: truncated or malformed allocation"},
+           Case{"A 0 0 4\nF 0 0\n", "line 2: truncated or malformed free"},
+           Case{"M 0 1 2\n", "line 1: truncated or malformed move"},
+           Case{"A 0 0 4 junk\n", "line 1: trailing characters"},
+       }) {
+    std::stringstream SS(C.Input);
+    EventLog Log;
+    std::string Error;
+    EXPECT_FALSE(readEventLog(SS, Log, &Error)) << C.Input;
+    EXPECT_NE(Error.find(C.ExpectedFragment), std::string::npos)
+        << "got '" << Error << "' for input " << C.Input;
+    EXPECT_TRUE(Log.empty()) << C.Input;
+  }
+}
+
+// A file cut off mid-record (e.g. a crashed writer) is rejected with a
+// diagnostic pointing at the truncation, not silently half-loaded.
+TEST(TraceIO, RejectsTruncatedFile) {
+  EventLog Log;
+  Log.record(HeapEvent::alloc(0, 0, 8));
+  Log.record(HeapEvent::alloc(1, 8, 4));
+  Log.record(HeapEvent::release(0, 0, 8));
+  std::stringstream SS;
+  writeEventLog(SS, Log);
+  std::string Text = SS.str();
+  std::string Truncated = Text.substr(0, Text.rfind(' ') + 1);
+  ASSERT_LT(Truncated.size(), Text.size());
+
+  std::stringstream In(Truncated);
+  EventLog Back;
+  std::string Error;
+  EXPECT_FALSE(readEventLog(In, Back, &Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+  EXPECT_TRUE(Back.empty());
+}
+
 // --- Fragmentation metrics ----------------------------------------------------
 
 TEST(Metrics, EmptyHeap) {

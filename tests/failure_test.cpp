@@ -12,6 +12,7 @@
 #include "adversary/CohenPetrankProgram.h"
 #include "adversary/SyntheticWorkloads.h"
 #include "driver/Execution.h"
+#include "heap/FreeSpaceIndex.h"
 #include "heap/Heap.h"
 #include "mm/SequentialFitManagers.h"
 
@@ -138,6 +139,76 @@ TEST(FailureInjection, TraceDoubleFreeDies) {
   std::vector<TraceOp> Trace = {TraceOp::alloc(4), TraceOp::release(0),
                                 TraceOp::release(0)};
   EXPECT_DEATH(runTrace(Trace), "dead object");
+}
+
+// A program that moves an object through the heap directly, bypassing
+// the manager's budget gate — the execution driver's ledger invariant
+// must catch the breach after the step.
+class RogueMoverProgram : public Program {
+public:
+  explicit RogueMoverProgram(Heap &H) : H(H) {}
+  bool step(MutatorContext &Ctx) override {
+    if (StepsDone++ == 0) {
+      Moved = Ctx.allocate(8);
+      return true;
+    }
+    // 16 words allocated so far; with c = 1000 the budget is
+    // floor(16/1000) = 0 words, so this move is over budget.
+    Ctx.allocate(8);
+    H.move(Moved, 64);
+    return false;
+  }
+  std::string name() const override { return "rogue-mover"; }
+
+private:
+  Heap &H;
+  ObjectId Moved = InvalidObjectId;
+  int StepsDone = 0;
+};
+
+TEST(FailureInjection, OverBudgetMoveDies) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        FirstFitManager MM(H, /*C=*/1000.0);
+        RogueMoverProgram P(H);
+        Execution E(MM, P, /*M=*/1024);
+        E.run();
+      },
+      "exceeded its compaction budget");
+}
+
+TEST(FailureInjection, FreeIndexDoubleReserveDies) {
+  EXPECT_DEATH(
+      {
+        FreeSpaceIndex FSI;
+        FSI.reserve(0, 8);
+        FSI.reserve(4, 8);
+      },
+      "reserve target is not free");
+}
+
+TEST(FailureInjection, FreeIndexDoubleReleaseDies) {
+  EXPECT_DEATH(
+      {
+        FreeSpaceIndex FSI;
+        FSI.reserve(0, 16);
+        FSI.release(0, 8);
+        FSI.release(0, 8);
+      },
+      "releasing a range that is partly free");
+}
+
+TEST(FailureInjection, FreeIndexReleaseOverlappingSuccessorDies) {
+  EXPECT_DEATH(
+      {
+        FreeSpaceIndex FSI;
+        FSI.reserve(0, 16);
+        FSI.release(8, 8);
+        // [8, 16) is free again; releasing [4, 12) overlaps it.
+        FSI.release(4, 8);
+      },
+      "releasing a range that is partly free");
 }
 
 TEST(FailureInjection, InadmissibleSigmaOverrideDies) {

@@ -256,6 +256,47 @@ TEST(OptionParser, WordCountSuffixes) {
   EXPECT_FALSE(OptionParser::parseWordCount("5KB", V));
 }
 
+TEST(OptionParser, MalformedPairs) {
+  // "key=" (empty value) stays an option with an empty value; "=value"
+  // has no key and is a positional; bare "=" likewise.
+  const char *Argv[] = {"tool", "key=", "=value", "="};
+  OptionParser P(4, Argv);
+  EXPECT_TRUE(P.has("key"));
+  EXPECT_EQ(P.getString("key", "fallback"), "");
+  EXPECT_EQ(P.getUInt("key", 7), 7u); // empty value is malformed
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "=value");
+  EXPECT_EQ(P.positional()[1], "=");
+}
+
+TEST(OptionParser, DuplicateKeysLastWins) {
+  const char *Argv[] = {"tool", "n=1", "n=2", "--n=3"};
+  OptionParser P(4, Argv);
+  EXPECT_EQ(P.getUInt("n", 0), 3u);
+}
+
+TEST(OptionParser, OutOfRangeIntegersAreMalformed) {
+  uint64_t V = 0;
+  // UINT64_MAX parses; one more does not wrap around.
+  EXPECT_TRUE(OptionParser::parseWordCount("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+  EXPECT_FALSE(OptionParser::parseWordCount("18446744073709551616", V));
+  // Suffix scaling must not wrap either.
+  EXPECT_TRUE(OptionParser::parseWordCount("17179869183G", V));
+  EXPECT_FALSE(OptionParser::parseWordCount("17179869184G", V));
+  EXPECT_FALSE(OptionParser::parseWordCount("99999999999999999999K", V));
+
+  const char *Argv[] = {"tool", "big=18446744073709551616",
+                        "huge=17179869184G", "neg=-5"};
+  OptionParser P(4, Argv);
+  EXPECT_EQ(P.getUInt("big", 42), 42u);
+  EXPECT_EQ(P.getUInt("huge", 42), 42u);
+  // Word counts are unsigned; a negative value is malformed, while
+  // getDouble accepts it.
+  EXPECT_EQ(P.getUInt("neg", 42), 42u);
+  EXPECT_DOUBLE_EQ(P.getDouble("neg", 0.0), -5.0);
+}
+
 TEST(OptionParser, DoublesAndBools) {
   const char *Argv[] = {"tool", "t=0.25", "v=true", "w=0"};
   OptionParser P(4, Argv);

@@ -16,6 +16,18 @@
 //   pcbound sweep    [program= policies= cs= logm= logn= --threads=N]
 //                                               run a (policy x c) grid of
 //                                               executions in parallel
+//   pcbound fuzz     [seed= iterations= ops= policies= c= logm= maxlog=
+//                     deep= repro-dir= --threads=N]
+//                                               differential fuzzing: random
+//                                               schedules through every
+//                                               policy, invariants checked
+//                                               after every step; failures
+//                                               are shrunk and written as
+//                                               replayable reproducers
+//   pcbound replay-trace trace=FILE [policy= c=]
+//                                               re-execute a fuzz reproducer
+//                                               (or any saved trace) with
+//                                               the invariant oracle on
 //   pcbound policies                            list manager policies
 //
 //===----------------------------------------------------------------------===//
@@ -30,6 +42,8 @@
 #include "driver/Auditors.h"
 #include "driver/Execution.h"
 #include "driver/TraceIO.h"
+#include "fuzz/DifferentialHarness.h"
+#include "fuzz/WorkloadFuzzer.h"
 #include "heap/HeapImage.h"
 #include "heap/Metrics.h"
 #include "mm/ManagerFactory.h"
@@ -58,6 +72,9 @@ int usage() {
       << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
       << "  sweep     [program=cohen-petrank policies=all cs=10,25,50,75,100\n"
       << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=]\n"
+      << "  fuzz      [seed=1 iterations=50 ops=384 policies=all c=50\n"
+      << "             logm=12 maxlog=8 deep=64 repro-dir=. --threads=N]\n"
+      << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
       << "          stack-lifo, queue-fifo, sawtooth,\n"
@@ -332,6 +349,247 @@ int cmdSweep(const OptionParser &Opts) {
   return Sink.emit(Opts) ? 0 : 1;
 }
 
+/// Parses a policies= option the way cmdSweep does ("all" or a
+/// comma-separated list), validating every name against the factory.
+bool parsePolicyList(const OptionParser &Opts, uint64_t LiveBound,
+                     std::vector<std::string> &Policies) {
+  std::string PolicyList = Opts.getString("policies", "all");
+  if (PolicyList == "all") {
+    Policies = allManagerPolicies();
+  } else {
+    std::istringstream IS(PolicyList);
+    std::string Item;
+    while (std::getline(IS, Item, ','))
+      if (!Item.empty())
+        Policies.push_back(Item);
+  }
+  for (const std::string &Policy : Policies) {
+    Heap Probe;
+    if (!createManager(Policy, Probe, 50.0, LiveBound)) {
+      std::cerr << "error: unknown policy '" << Policy << "'\n";
+      return false;
+    }
+  }
+  return !Policies.empty();
+}
+
+/// Everything one fuzz iteration produced, filled in by a worker thread
+/// and reported serially afterwards.
+struct FuzzIterationOutcome {
+  bool Failed = false;
+  uint64_t Seed = 0;
+  std::string Pattern;
+  size_t OriginalOps = 0;
+  FuzzSchedule Minimal;
+  DifferentialReport MinimalReport;
+};
+
+int cmdFuzz(const OptionParser &Opts) {
+  uint64_t BaseSeed = Opts.getUInt("seed", 1);
+  uint64_t Iterations = Opts.getUInt("iterations", 50);
+  uint64_t NumOps = Opts.getUInt("ops", 384);
+  unsigned LogM = unsigned(Opts.getUInt("logm", 12));
+  unsigned MaxLog = unsigned(Opts.getUInt("maxlog", 8));
+  double C = Opts.getDouble("c", 50.0);
+  uint64_t Deep = Opts.getUInt("deep", 64);
+  std::string ReproDir = Opts.getString("repro-dir", ".");
+  if (Iterations == 0 || NumOps == 0) {
+    std::cerr << "error: iterations= and ops= must be positive\n";
+    return 1;
+  }
+  if (MaxLog > LogM || LogM > 24) {
+    std::cerr << "error: need maxlog <= logm <= 24\n";
+    return 1;
+  }
+
+  std::vector<std::string> Policies;
+  if (!parsePolicyList(Opts, pow2(LogM), Policies))
+    return 1;
+
+  DifferentialHarness::Options HO;
+  HO.Policies = Policies;
+  HO.C = C;
+  HO.DeepCheckEvery = Deep;
+  DifferentialHarness Harness(HO);
+
+  RunnerOptions RO;
+  RO.Threads = unsigned(Opts.getUInt("threads", 0));
+  if (Opts.has("progress"))
+    RO.Progress = Opts.getBool("progress", true) ? 1 : 0;
+  Runner R(RO);
+
+  std::cout << "# fuzz: " << Iterations << " schedules x "
+            << Policies.size() << " policies (seed=" << BaseSeed
+            << ", ops=" << NumOps << ", M=" << formatWords(pow2(LogM))
+            << ", c=" << C << ", threads=" << R.threads() << ")\n";
+
+  const std::vector<WorkloadFuzzer::Pattern> &Patterns =
+      WorkloadFuzzer::allPatterns();
+  std::vector<FuzzIterationOutcome> Outcomes{size_t(Iterations)};
+  R.forEachCell(Iterations, [&](uint64_t I) {
+    WorkloadFuzzer::Options FO;
+    FO.Seed = splitSeed(BaseSeed, I);
+    FO.NumOps = NumOps;
+    FO.LiveBound = pow2(LogM);
+    FO.MaxLogSize = MaxLog;
+    FO.P = Patterns[size_t(I) % Patterns.size()];
+    FuzzSchedule S = WorkloadFuzzer(FO).generate();
+
+    FuzzIterationOutcome &O = Outcomes[size_t(I)];
+    O.Seed = FO.Seed;
+    O.Pattern = S.Pattern;
+    O.OriginalOps = S.size();
+    if (Harness.run(S).clean())
+      return;
+    O.Failed = true;
+    O.Minimal = Harness.shrink(S);
+    O.MinimalReport = Harness.run(O.Minimal);
+  });
+
+  uint64_t TotalOps = 0;
+  size_t NumFailed = 0;
+  for (const FuzzIterationOutcome &O : Outcomes) {
+    TotalOps += O.OriginalOps;
+    if (!O.Failed)
+      continue;
+    ++NumFailed;
+    std::cerr << "fuzz: seed " << O.Seed << " (" << O.Pattern << ", "
+              << O.OriginalOps << " ops) violated invariants; minimized to "
+              << O.Minimal.size() << " ops\n"
+              << O.MinimalReport.summary();
+    const PolicyRunResult *Failing = O.MinimalReport.firstFailing();
+    if (!Failing && !O.MinimalReport.Runs.empty())
+      Failing = &O.MinimalReport.Runs.front();
+    if (!Failing)
+      continue;
+    std::string Path =
+        ReproDir + "/fuzz-repro-seed" + std::to_string(O.Seed) + ".trace";
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::cerr << "fuzz: cannot write reproducer '" << Path << "'\n";
+      continue;
+    }
+    DifferentialHarness::writeReproducer(OS, O.Minimal, *Failing);
+    std::cerr << "fuzz: reproducer written; re-run with: pcbound"
+              << " replay-trace trace=" << Path << "\n";
+  }
+
+  if (NumFailed == 0) {
+    std::cout << "fuzz: OK — " << TotalOps << " ops, no invariant"
+              << " violations under any policy\n";
+    return 0;
+  }
+  std::cout << "fuzz: FAIL — " << NumFailed << " of " << Iterations
+            << " schedules violated invariants (reproducers in '"
+            << ReproDir << "')\n";
+  return 1;
+}
+
+int cmdReplayTrace(const OptionParser &Opts) {
+  std::string TracePath = Opts.getString("trace", "");
+  if (TracePath.empty()) {
+    std::cerr << "error: replay-trace needs trace=FILE\n";
+    return 1;
+  }
+  std::ifstream IS(TracePath);
+  if (!IS) {
+    std::cerr << "error: cannot read '" << TracePath << "'\n";
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << IS.rdbuf();
+  const std::string Content = Buffer.str();
+
+  // Reproducers written by `pcbound fuzz` carry their policy and quota in
+  // a header comment; explicit options still win.
+  std::string HeaderPolicy = "first-fit";
+  double HeaderC = 50.0;
+  {
+    const std::string Magic = "# pcbound-fuzz-repro";
+    std::istringstream Lines(Content);
+    std::string Line;
+    while (std::getline(Lines, Line)) {
+      if (Line.rfind(Magic, 0) != 0)
+        continue;
+      std::istringstream Fields(Line.substr(Magic.size()));
+      std::string Field;
+      while (Fields >> Field) {
+        size_t Eq = Field.find('=');
+        if (Eq == std::string::npos)
+          continue;
+        std::string Key = Field.substr(0, Eq);
+        std::string Value = Field.substr(Eq + 1);
+        if (Key == "policy")
+          HeaderPolicy = Value;
+        else if (Key == "c")
+          HeaderC = std::strtod(Value.c_str(), nullptr);
+      }
+      break;
+    }
+  }
+  std::string Policy = Opts.getString("policy", HeaderPolicy);
+  double C = Opts.getDouble("c", HeaderC);
+  {
+    Heap Probe;
+    if (!createManager(Policy, Probe, 50.0, /*LiveBound=*/pow2(12))) {
+      std::cerr << "error: unknown policy '" << Policy << "'\n";
+      return 1;
+    }
+  }
+
+  EventLog Log;
+  std::istringstream TraceIS(Content);
+  std::string Error;
+  if (!readEventLog(TraceIS, Log, &Error)) {
+    std::cerr << "error: " << TracePath << ": " << Error << "\n";
+    return 1;
+  }
+
+  AuditReport Audit = auditEvents(Log.events());
+  std::cout << "trace: " << Log.size() << " events, "
+            << Audit.NumAllocations << " allocs, " << Audit.NumFrees
+            << " frees, " << Audit.NumMoves << " moves (recorded HS "
+            << Audit.HighWaterMark << ")\n";
+
+  int NumProblems = 0;
+  if (!Audit.Consistent) {
+    std::cout << "recorded events: INCONSISTENT (double free, overlap,"
+              << " or move of a dead object)\n";
+    ++NumProblems;
+  }
+  if (!auditBudgetHistory(Log.events(), C)) {
+    std::cout << "recorded events: c-partial budget (c=" << C
+              << ") violated on some prefix\n";
+    ++NumProblems;
+  }
+
+  std::vector<TraceOp> Trace = Log.toTrace();
+  std::string Why;
+  if (!validateTrace(Trace, &Why)) {
+    std::cout << "replay: trace is not replayable (" << Why << ")\n"
+              << "replay-trace: FAIL\n";
+    return 1;
+  }
+  DifferentialHarness::Options HO;
+  HO.Policies = {Policy};
+  HO.C = C;
+  HO.ReplayCheckPolicy = Policy;
+  DifferentialReport Rep =
+      DifferentialHarness(HO).run(scheduleFromTrace(Trace, 0, "replay"));
+  for (const Violation &V : Rep.allViolations()) {
+    std::cout << "violation: " << V.describe() << "\n";
+    ++NumProblems;
+  }
+  if (!Rep.Runs.empty()) {
+    const HeapStats &S = Rep.Runs.front().Stats;
+    std::cout << "replayed through " << Policy << " (c=" << C << "): HS "
+              << S.HighWaterMark << " words, moved " << S.MovedWords
+              << " in " << S.NumMoves << " moves\n";
+  }
+  std::cout << (NumProblems ? "replay-trace: FAIL\n" : "replay-trace: OK\n");
+  return NumProblems ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -349,6 +607,10 @@ int main(int argc, char **argv) {
     return cmdReplay(Opts);
   if (Command == "sweep")
     return cmdSweep(Opts);
+  if (Command == "fuzz")
+    return cmdFuzz(Opts);
+  if (Command == "replay-trace")
+    return cmdReplayTrace(Opts);
   if (Command == "policies") {
     std::cout << "# manager policies\n";
     for (const std::string &Policy : allManagerPolicies())
