@@ -20,7 +20,8 @@ std::unique_ptr<Program> pcb::createProgram(const std::string &Name,
                                             double C) {
   if (Name == "robson")
     return std::make_unique<RobsonProgram>(M, LogN);
-  if (Name == "cohen-petrank")
+  // "pf" is the paper's name for the adversarial program of Section 4.
+  if (Name == "cohen-petrank" || Name == "pf")
     return std::make_unique<CohenPetrankProgram>(M, pow2(LogN), C);
   if (Name == "random-churn") {
     RandomChurnProgram::Options O;

@@ -7,6 +7,8 @@
 
 #include "driver/Execution.h"
 
+#include "obs/Profiler.h"
+
 #include <cassert>
 
 using namespace pcb;
@@ -37,6 +39,9 @@ void Execution::free(ObjectId Id) { MM.free(Id); }
 bool Execution::runStep() {
   if (Finished)
     return false;
+  // exec.step encloses the whole step, so heap.* / fsi.* / mm.compact
+  // section times nest inside it (the report notes times are inclusive).
+  ScopedTimer Timer(Profiler::SecStep);
   Finished = !P.step(*this);
   ++Steps;
   if (Opts.Log)

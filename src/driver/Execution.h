@@ -93,6 +93,9 @@ public:
 
   uint64_t stepsRun() const { return Steps; }
 
+  /// The manager this execution drives (e.g. for budget-ledger sampling).
+  const MemoryManager &manager() const { return MM; }
+
   // MutatorContext interface.
   ObjectId allocate(uint64_t Size) override;
   void free(ObjectId Id) override;

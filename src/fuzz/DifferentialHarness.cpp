@@ -78,6 +78,8 @@ DifferentialHarness::runPolicy(const std::string &Policy,
 
   TraceReplayProgram P(Trace);
   Execution E(*MM, P, M);
+  if (Opts.OnExecution)
+    Opts.OnExecution(E, Policy);
   InvariantOracle Oracle(H, *MM, Log, {Opts.DeepCheckEvery});
 
   uint64_t Step = 0;

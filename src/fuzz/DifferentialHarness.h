@@ -37,6 +37,8 @@
 
 namespace pcb {
 
+class Execution;
+
 /// Outcome of one policy's execution of a schedule.
 struct PolicyRunResult {
   std::string Policy;
@@ -88,6 +90,12 @@ public:
     /// Stop collecting per-run violations beyond this many (a broken
     /// substrate would otherwise report one per step).
     size_t MaxViolationsPerRun = 16;
+    /// Observation port: invoked with each per-policy Execution right
+    /// after construction, before any step runs. Lets callers attach
+    /// step observers (e.g. a TimelineSampler recording the heap state
+    /// of a failing schedule) without the harness depending on the
+    /// observability layer.
+    std::function<void(Execution &, const std::string &Policy)> OnExecution;
   };
 
   DifferentialHarness();

@@ -7,6 +7,7 @@
 
 #include "heap/FreeSpaceIndex.h"
 
+#include "obs/Profiler.h"
 #include "support/MathUtils.h"
 
 #include <algorithm>
@@ -38,6 +39,7 @@ void FreeSpaceIndex::eraseBlock(std::map<Addr, Addr>::iterator It) {
 }
 
 void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
+  ScopedTimer Timer(Profiler::SecFreeRelease);
   assert(Size != 0 && "releasing zero words");
   Addr End = Start + Size;
 
@@ -66,6 +68,7 @@ void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
 }
 
 void FreeSpaceIndex::reserve(Addr Start, uint64_t Size) {
+  ScopedTimer Timer(Profiler::SecFreeReserve);
   assert(Size != 0 && "reserving zero words");
   Addr End = Start + Size;
   auto It = ByAddr.upper_bound(Start);
@@ -122,6 +125,7 @@ Addr FreeSpaceIndex::firstFitFrom(Addr From, uint64_t Size) const {
     // Blocks here have size in [2^MinClass, 2^MinClass+1); when Size is
     // an exact power of two (the adversarial workloads) the first block
     // always fits and this loop exits immediately.
+    Profiler::bump(Profiler::CtrFitProbes);
     auto BIt = ByAddr.find(*It);
     assert(BIt != ByAddr.end() && "bucket entry missing from map");
     if (BIt->second - BIt->first >= Size) {
@@ -154,6 +158,7 @@ Addr FreeSpaceIndex::firstFitAligned(uint64_t Size, uint64_t Align) const {
     for (auto It = Buckets[K].begin(); It != Buckets[K].end(); ++It) {
       if (*It >= Best)
         break;
+      Profiler::bump(Profiler::CtrFitProbes);
       auto BIt = ByAddr.find(*It);
       assert(BIt != ByAddr.end() && "bucket entry missing from map");
       Addr Aligned = alignUp(BIt->first, Align);
@@ -191,4 +196,27 @@ uint64_t FreeSpaceIndex::freeWordsIn(Addr Start, Addr End) const {
 
 uint64_t FreeSpaceIndex::freeWordsBelow(Addr Limit) const {
   return Limit == 0 ? 0 : freeWordsIn(0, Limit);
+}
+
+size_t FreeSpaceIndex::numBlocksBelow(Addr Limit) const {
+  size_t AtOrAbove = 0;
+  for (auto It = ByAddr.lower_bound(Limit); It != ByAddr.end(); ++It)
+    ++AtOrAbove;
+  return ByAddr.size() - AtOrAbove;
+}
+
+uint64_t FreeSpaceIndex::largestBlockBelow(Addr Limit) const {
+  uint64_t Best = 0;
+  for (auto It = BySize.rbegin(); It != BySize.rend(); ++It) {
+    const auto &[Size, Start] = *It;
+    // A clipped span never exceeds the raw size, and sizes only shrink
+    // from here on.
+    if (Size <= Best)
+      break;
+    if (Start >= Limit)
+      continue;
+    Addr End = Start + Size;
+    Best = std::max(Best, uint64_t(std::min<Addr>(End, Limit) - Start));
+  }
+  return Best;
 }

@@ -79,6 +79,19 @@ public:
   /// Free words within [Start, End).
   uint64_t freeWordsIn(Addr Start, Addr End) const;
 
+  /// Number of free blocks that begin below \p Limit. O(log + blocks at
+  /// or above Limit); with Limit at the heap's high-water mark at most
+  /// the tail block lies above, so the fragmentation metrics sample in
+  /// O(log) instead of walking the index.
+  size_t numBlocksBelow(Addr Limit) const;
+
+  /// Largest free run clipped to [0, Limit): the maximum over blocks
+  /// starting below \p Limit of min(end, Limit) - start. Walks the size
+  /// index from the largest block down and stops as soon as no remaining
+  /// block can beat the best clipped span — O(log) when, as at the
+  /// high-water mark, only the tail block straddles \p Limit.
+  uint64_t largestBlockBelow(Addr Limit) const;
+
   /// Iteration over (start, end) free blocks in address order.
   using const_iterator = std::map<Addr, Addr>::const_iterator;
   const_iterator begin() const { return ByAddr.begin(); }

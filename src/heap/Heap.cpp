@@ -7,6 +7,8 @@
 
 #include "heap/Heap.h"
 
+#include "obs/Profiler.h"
+
 #include <algorithm>
 #include <cassert>
 #include <string>
@@ -14,6 +16,7 @@
 using namespace pcb;
 
 ObjectId Heap::place(Addr Address, uint64_t Size) {
+  ScopedTimer Timer(Profiler::SecHeapPlace);
   assert(Size != 0 && "zero-size object");
   assert(Address + Size <= AddrLimit && "placement beyond the address space");
   Free.reserve(Address, Size);
@@ -33,6 +36,7 @@ ObjectId Heap::place(Addr Address, uint64_t Size) {
 }
 
 void Heap::free(ObjectId Id) {
+  ScopedTimer Timer(Profiler::SecHeapFree);
   assert(isLive(Id) && "freeing a dead or unknown object");
   Object &O = Objects[Id];
   Free.release(O.Address, O.Size);
@@ -45,6 +49,7 @@ void Heap::free(ObjectId Id) {
 }
 
 void Heap::move(ObjectId Id, Addr NewAddress) {
+  ScopedTimer Timer(Profiler::SecHeapMove);
   assert(isLive(Id) && "moving a dead or unknown object");
   Object &O = Objects[Id];
   assert(NewAddress + O.Size <= AddrLimit && "move beyond the address space");

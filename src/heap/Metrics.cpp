@@ -7,7 +7,7 @@
 
 #include "heap/Metrics.h"
 
-#include <algorithm>
+#include <cassert>
 
 using namespace pcb;
 
@@ -15,17 +15,16 @@ FragmentationMetrics pcb::measureFragmentation(const Heap &H) {
   FragmentationMetrics M;
   M.FootprintWords = H.stats().HighWaterMark;
   M.LiveWords = H.stats().LiveWords;
+  // An empty heap is all zeros by definition (see FragmentationMetrics).
   if (M.FootprintWords == 0)
     return M;
 
-  for (const auto &[Start, End] : H.freeSpace()) {
-    if (Start >= M.FootprintWords)
-      break;
-    uint64_t Span = std::min(End, M.FootprintWords) - Start;
-    M.FreeWords += Span;
-    M.LargestFreeBlock = std::max(M.LargestFreeBlock, Span);
-    ++M.FreeBlocks;
-  }
+  // Everything below the high-water mark is either live or free, so the
+  // free total is the complement of the live words — no scan needed.
+  assert(M.LiveWords <= M.FootprintWords && "live words exceed footprint");
+  M.FreeWords = M.FootprintWords - M.LiveWords;
+  M.FreeBlocks = H.freeSpace().numBlocksBelow(M.FootprintWords);
+  M.LargestFreeBlock = H.freeSpace().largestBlockBelow(M.FootprintWords);
   M.Utilization = double(M.LiveWords) / double(M.FootprintWords);
   if (M.FreeWords != 0)
     M.ExternalFragmentation =

@@ -24,18 +24,24 @@
 namespace pcb {
 
 /// A snapshot of fragmentation state, all relative to the high-water
-/// mark (the heap the manager has committed to).
+/// mark (the heap the manager has committed to). An empty heap (no word
+/// ever used) measures as all zeros, including Utilization: there is no
+/// footprint to utilize, and defining 0/0 as zero keeps time-series
+/// plots starting from the origin instead of a phantom full heap.
 struct FragmentationMetrics {
   uint64_t FootprintWords = 0;      ///< the high-water mark
   uint64_t LiveWords = 0;           ///< currently allocated
   uint64_t FreeWords = 0;           ///< free words below the mark
   uint64_t FreeBlocks = 0;          ///< maximal free runs below the mark
   uint64_t LargestFreeBlock = 0;    ///< largest free run below the mark
-  double Utilization = 1.0;         ///< live / footprint
+  double Utilization = 0.0;         ///< live / footprint (0 when empty)
   double ExternalFragmentation = 0; ///< 1 - largest / free
 };
 
-/// Measures \p H now. O(number of free blocks).
+/// Measures \p H now. O(log free blocks): the free words below the mark
+/// are the complement of the live words, and the block count / largest
+/// block come from FreeSpaceIndex aggregate queries, so sampling a
+/// timeline every step does not re-scan the heap.
 FragmentationMetrics measureFragmentation(const Heap &H);
 
 } // namespace pcb

@@ -7,12 +7,16 @@
 
 #include "mm/BumpCompactor.h"
 
+#include "obs/Profiler.h"
+
 #include <cassert>
 #include <vector>
 
 using namespace pcb;
 
 Addr BumpCompactor::compact() {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
   // Live objects arrive in address order; packing them downward in that
   // order never collides (the Lisp-2 invariant).
   Addr Target = 0;

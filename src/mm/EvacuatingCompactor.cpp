@@ -8,6 +8,7 @@
 #include "mm/EvacuatingCompactor.h"
 
 #include "heap/ChunkView.h"
+#include "obs/Profiler.h"
 
 #include <algorithm>
 
@@ -37,6 +38,8 @@ Addr EvacuatingCompactor::placeFor(uint64_t Size) {
 }
 
 Addr EvacuatingCompactor::evacuateFor(uint64_t Size) {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
   unsigned LogSize = log2Ceil(Size);
   ChunkView View(LogSize);
   uint64_t ChunkSize = View.chunkSize();

@@ -8,6 +8,7 @@
 #include "mm/HybridManager.h"
 
 #include "heap/ChunkView.h"
+#include "obs/Profiler.h"
 
 #include <algorithm>
 #include <cassert>
@@ -34,6 +35,8 @@ Addr HybridManager::acquireSlot(unsigned Class, Addr AvoidStart,
 }
 
 Addr HybridManager::evacuateFor(unsigned Class) {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
   ChunkView View(Class);
   uint64_t ChunkSize = View.chunkSize();
   uint64_t NumChunks = Frontier / ChunkSize;

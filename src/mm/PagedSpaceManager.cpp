@@ -7,6 +7,7 @@
 
 #include "mm/PagedSpaceManager.h"
 
+#include "obs/Profiler.h"
 #include "support/MathUtils.h"
 
 #include <cassert>
@@ -79,6 +80,8 @@ Addr PagedSpaceManager::takeSlot(unsigned Class, uint64_t AvoidPage) {
 }
 
 bool PagedSpaceManager::evacuateSparsestPage() {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
   // The victim is the bound page with the fewest live slot words across
   // all classes — the G1 liveness criterion.
   uint64_t Victim = UINT64_MAX;

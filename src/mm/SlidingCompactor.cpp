@@ -7,6 +7,8 @@
 
 #include "mm/SlidingCompactor.h"
 
+#include "obs/Profiler.h"
+
 #include <algorithm>
 #include <vector>
 
@@ -45,6 +47,8 @@ Addr SlidingCompactor::placeFor(uint64_t Size) {
 }
 
 uint64_t SlidingCompactor::slideAll() {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
   // Live objects come back in address order; sliding each to the packed
   // position never collides because predecessors have already moved left.
   std::vector<ObjectId> Live = heap().liveObjects();

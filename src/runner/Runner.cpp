@@ -7,6 +7,8 @@
 
 #include "runner/Runner.h"
 
+#include "obs/Profiler.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -77,7 +79,7 @@ private:
 
 Runner::Runner(RunnerOptions Opts)
     : NumThreads(Opts.Threads == 0 ? defaultThreads() : Opts.Threads),
-      Progress(Opts.Progress) {}
+      Progress(Opts.Progress), Prof(Opts.Prof) {}
 
 unsigned Runner::defaultThreads() {
   unsigned HW = std::thread::hardware_concurrency();
@@ -94,15 +96,37 @@ bool Runner::progressEnabled() const {
 
 void Runner::forEachCell(uint64_t NumCells,
                          const std::function<void(uint64_t)> &Fn) const {
+  CellSeconds.assign(size_t(NumCells), 0.0);
+  WallSeconds = 0.0;
   if (NumCells == 0)
     return;
   ProgressReporter Prog(NumCells, progressEnabled());
+  auto WallStart = std::chrono::steady_clock::now();
+  auto RunCell = [&](uint64_t I) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn(I);
+    CellSeconds[size_t(I)] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  };
 
   if (NumThreads <= 1 || NumCells == 1) {
+    // Inline cells see the calling thread's profiler; merge into the
+    // aggregate only if the caller asked for one that is not already the
+    // installed profiler (else the sections would double-count).
+    Profiler Local;
+    ProfilerScope Scope(Prof && Prof != Profiler::current() ? &Local
+                                                            : nullptr);
     for (uint64_t I = 0; I != NumCells; ++I) {
-      Fn(I);
+      RunCell(I);
       Prog.tick();
     }
+    if (Prof && Prof != Profiler::current())
+      Prof->merge(Local);
+    WallSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
     return;
   }
 
@@ -110,21 +134,29 @@ void Runner::forEachCell(uint64_t NumCells,
   std::exception_ptr FirstError;
   std::mutex ErrorMu;
   auto Work = [&] {
+    // Workers never inherit the caller's thread-local profiler; give each
+    // its own and merge (commutative adds) after the join.
+    Profiler Local;
+    ProfilerScope Scope(Prof ? &Local : nullptr);
     for (;;) {
       uint64_t I = NextCell.fetch_add(1, std::memory_order_relaxed);
       if (I >= NumCells)
-        return;
+        break;
       try {
-        Fn(I);
+        RunCell(I);
       } catch (...) {
         std::lock_guard<std::mutex> Lock(ErrorMu);
         if (!FirstError)
           FirstError = std::current_exception();
         // Drain the queue so the other workers stop picking up cells.
         NextCell.store(NumCells, std::memory_order_relaxed);
-        return;
+        break;
       }
       Prog.tick();
+    }
+    if (Prof) {
+      std::lock_guard<std::mutex> Lock(ErrorMu);
+      Prof->merge(Local);
     }
   };
 
@@ -136,6 +168,9 @@ void Runner::forEachCell(uint64_t NumCells,
     Pool.emplace_back(Work);
   for (std::thread &Th : Pool)
     Th.join();
+  WallSeconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - WallStart)
+                    .count();
   if (FirstError)
     std::rethrow_exception(FirstError);
 }

@@ -33,12 +33,21 @@
 
 namespace pcb {
 
+class Profiler;
+
 struct RunnerOptions {
   /// Worker count; 0 means std::thread::hardware_concurrency().
   unsigned Threads = 0;
   /// Progress reporting to stderr: 0 off, 1 on, -1 auto (on only when
   /// stderr is a terminal, so CI logs and redirections stay clean).
   int Progress = -1;
+  /// When set, every cell runs under a profiler (per-worker instances on
+  /// the pool) and the section/counter totals are merged here after the
+  /// sweep. Merging is commutative, so the totals are deterministic even
+  /// though workers finish in any order. Null leaves profiling to
+  /// whatever ProfilerScope the calling thread has installed (which the
+  /// pool's workers do NOT inherit).
+  Profiler *Prof = nullptr;
 };
 
 class Runner {
@@ -80,11 +89,24 @@ public:
                const std::function<Row(const GridCell &)> &Fn,
                ResultSink &Sink) const;
 
+  /// Wall-clock seconds each cell of the last forEachCell() took, keyed
+  /// by cell index. Timing is observability only — it never feeds into
+  /// results, so the determinism contract is unaffected.
+  const std::vector<double> &cellSeconds() const { return CellSeconds; }
+
+  /// Wall-clock seconds the last forEachCell() took end to end.
+  double wallSeconds() const { return WallSeconds; }
+
 private:
   bool progressEnabled() const;
 
   unsigned NumThreads;
   int Progress;
+  Profiler *Prof;
+  /// Per-cell and total wall-clock of the last sweep (observability;
+  /// distinct cells write distinct slots, so no synchronization needed).
+  mutable std::vector<double> CellSeconds;
+  mutable double WallSeconds = 0.0;
 };
 
 } // namespace pcb

@@ -413,11 +413,19 @@ TEST(TraceIO, RejectsTruncatedFile) {
 
 // --- Fragmentation metrics ----------------------------------------------------
 
+// An empty heap measures as all zeros — including Utilization, which
+// used to default to 1.0 and make timelines start from a phantom full
+// heap. Regression test for the all-zero contract.
 TEST(Metrics, EmptyHeap) {
   Heap H;
   FragmentationMetrics M = measureFragmentation(H);
   EXPECT_EQ(M.FootprintWords, 0u);
-  EXPECT_DOUBLE_EQ(M.Utilization, 1.0);
+  EXPECT_EQ(M.LiveWords, 0u);
+  EXPECT_EQ(M.FreeWords, 0u);
+  EXPECT_EQ(M.FreeBlocks, 0u);
+  EXPECT_EQ(M.LargestFreeBlock, 0u);
+  EXPECT_DOUBLE_EQ(M.Utilization, 0.0);
+  EXPECT_DOUBLE_EQ(M.ExternalFragmentation, 0.0);
 }
 
 TEST(Metrics, ByHand) {

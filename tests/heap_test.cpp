@@ -10,10 +10,12 @@
 #include "heap/Heap.h"
 #include "heap/HeapImage.h"
 #include "heap/IntervalSet.h"
+#include "heap/Metrics.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 using namespace pcb;
@@ -83,6 +85,63 @@ TEST(IntervalSet, IntervalContaining) {
   auto [C, D] = S.intervalContaining(20);
   EXPECT_EQ(C, InvalidAddr);
   EXPECT_EQ(D, InvalidAddr);
+}
+
+TEST(IntervalSet, AdjacentRangeCoalescing) {
+  // Right-adjacent, then left-adjacent insertion each coalesce into one
+  // maximal interval; a gap of one word does not.
+  IntervalSet S;
+  S.insert(10, 20);
+  S.insert(20, 30); // right-adjacent
+  EXPECT_EQ(S.numIntervals(), 1u);
+  S.insert(0, 10); // left-adjacent
+  EXPECT_EQ(S.numIntervals(), 1u);
+  EXPECT_TRUE(S.containsRange(0, 30));
+  EXPECT_EQ(S.totalWords(), 30u);
+  S.insert(31, 40); // one-word gap stays separate
+  EXPECT_EQ(S.numIntervals(), 2u);
+  EXPECT_FALSE(S.contains(30));
+}
+
+TEST(IntervalSet, ExactOverlapRemoval) {
+  // Erasing exactly a stored interval empties it without touching its
+  // neighbours.
+  IntervalSet S;
+  S.insert(0, 10);
+  S.insert(20, 30);
+  S.insert(40, 50);
+  S.erase(20, 30);
+  EXPECT_EQ(S.numIntervals(), 2u);
+  EXPECT_FALSE(S.overlaps(20, 30));
+  EXPECT_TRUE(S.containsRange(0, 10));
+  EXPECT_TRUE(S.containsRange(40, 50));
+  EXPECT_EQ(S.totalWords(), 20u);
+  S.erase(0, 10);
+  S.erase(40, 50);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.totalWords(), 0u);
+}
+
+TEST(IntervalSet, SplitInTheMiddleRelease) {
+  // Erasing strictly inside an interval splits it into two maximal
+  // pieces with exact boundaries.
+  IntervalSet S;
+  S.insert(0, 100);
+  S.erase(40, 60);
+  EXPECT_EQ(S.numIntervals(), 2u);
+  auto [L0, L1] = S.intervalContaining(39);
+  EXPECT_EQ(L0, 0u);
+  EXPECT_EQ(L1, 40u);
+  auto [R0, R1] = S.intervalContaining(60);
+  EXPECT_EQ(R0, 60u);
+  EXPECT_EQ(R1, 100u);
+  EXPECT_EQ(S.totalWords(), 80u);
+  // Splitting the right piece again keeps every boundary exact.
+  S.erase(70, 80);
+  EXPECT_EQ(S.numIntervals(), 3u);
+  EXPECT_TRUE(S.containsRange(60, 70));
+  EXPECT_TRUE(S.containsRange(80, 100));
+  EXPECT_FALSE(S.overlaps(70, 80));
 }
 
 TEST(IntervalSet, RandomizedAgainstReference) {
@@ -483,6 +542,60 @@ TEST(FreeSpaceIndex, BlockCountTracksFragmentation) {
   F.release(0, 8);
   F.release(32, 32); // merges with the tail
   EXPECT_EQ(F.numBlocks(), 1u);
+}
+
+TEST(FreeSpaceIndex, AggregateQueriesBelowLimit) {
+  FreeSpaceIndex F;
+  // The tail starts at 0, so everything below any limit is one clipped
+  // block.
+  EXPECT_EQ(F.numBlocksBelow(100), 1u);
+  EXPECT_EQ(F.largestBlockBelow(100), 100u);
+  F.reserve(0, 64); // tail now starts at 64
+  EXPECT_EQ(F.numBlocksBelow(64), 0u);
+  EXPECT_EQ(F.largestBlockBelow(64), 0u);
+  F.release(8, 8);
+  F.release(24, 4);
+  EXPECT_EQ(F.numBlocksBelow(64), 2u);
+  EXPECT_EQ(F.largestBlockBelow(64), 8u);
+  // A block straddling the limit counts, clipped.
+  EXPECT_EQ(F.numBlocksBelow(26), 2u);
+  EXPECT_EQ(F.largestBlockBelow(26), 8u);
+  EXPECT_EQ(F.largestBlockBelow(12), 4u); // [8,16) clipped to [8,12)
+  EXPECT_EQ(F.numBlocksBelow(8), 0u);
+}
+
+TEST(Metrics, FastPathMatchesRescan) {
+  // Property test: the O(log) measureFragmentation (complement identity
+  // plus FreeSpaceIndex aggregates) agrees with a brute-force walk of
+  // the free list over a random churn workload.
+  Rng R(2013);
+  Heap H;
+  std::vector<ObjectId> Live;
+  for (int Op = 0; Op != 600; ++Op) {
+    if (Live.empty() || R.nextBool(0.6)) {
+      uint64_t Size = 1 + R.nextBelow(32);
+      Live.push_back(H.place(H.freeSpace().firstFit(Size), Size));
+    } else {
+      size_t K = size_t(R.nextBelow(Live.size()));
+      H.free(Live[K]);
+      Live.erase(Live.begin() + K);
+    }
+
+    FragmentationMetrics M = measureFragmentation(H);
+    uint64_t FreeWords = 0, FreeBlocks = 0, Largest = 0;
+    for (const auto &[Start, End] : H.freeSpace()) {
+      if (Start >= M.FootprintWords)
+        break;
+      uint64_t Span =
+          std::min<Addr>(End, M.FootprintWords) - Start;
+      FreeWords += Span;
+      Largest = std::max(Largest, Span);
+      ++FreeBlocks;
+    }
+    ASSERT_EQ(M.FreeWords, FreeWords);
+    ASSERT_EQ(M.FreeBlocks, FreeBlocks);
+    ASSERT_EQ(M.LargestFreeBlock, Largest);
+  }
 }
 
 } // namespace

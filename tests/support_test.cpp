@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
@@ -202,6 +203,78 @@ TEST(AsciiChart, EmptySeriesDoesNotCrash) {
   std::ostringstream OS;
   Chart.print(OS);
   EXPECT_FALSE(OS.str().empty());
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  // One sample: auto-scale sees YMin == YMax and must still render the
+  // glyph somewhere on the canvas instead of dividing by a zero range.
+  AsciiChart Chart(0.0, 1.0);
+  Chart.addSeries(ChartSeries{"point", '@', {42.0}});
+  std::ostringstream OS;
+  Chart.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find('@'), std::string::npos);
+  EXPECT_NE(Out.find("@ = point"), std::string::npos);
+}
+
+TEST(AsciiChart, DegenerateExplicitRange) {
+  // YMin == YMax passed explicitly means "auto-scale"; a flat series then
+  // still has a zero data range, which must widen rather than divide by 0.
+  AsciiChart::Options Opts;
+  Opts.YMin = 3.0;
+  Opts.YMax = 3.0;
+  AsciiChart Chart(0.0, 4.0, Opts);
+  Chart.addSeries(ChartSeries{"flat", '#', {3.0, 3.0, 3.0}});
+  std::ostringstream OS;
+  Chart.print(OS);
+  EXPECT_NE(OS.str().find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, AllNaNSeriesRendersAxesOnly) {
+  double NaN = std::nan("");
+  AsciiChart Chart(0.0, 1.0);
+  Chart.addSeries(ChartSeries{"gaps", '*', {NaN, NaN, NaN}});
+  std::ostringstream OS;
+  Chart.print(OS);
+  std::string Out = OS.str();
+  // Nothing to plot: the glyph appears exactly once, in the legend, and
+  // the frame still renders.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '*'), 1);
+  EXPECT_NE(Out.find('|'), std::string::npos);
+  EXPECT_NE(Out.find("* = gaps"), std::string::npos);
+}
+
+TEST(Statistics, EmptyStatIsAllZeros) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(Statistics, ConstantSeriesHasZeroSpread) {
+  RunningStat S;
+  for (int I = 0; I != 100; ++I)
+    S.add(-2.5);
+  EXPECT_EQ(S.count(), 100u);
+  EXPECT_DOUBLE_EQ(S.mean(), -2.5);
+  EXPECT_DOUBLE_EQ(S.min(), -2.5);
+  EXPECT_DOUBLE_EQ(S.max(), -2.5);
+  // Welford's update must not accumulate rounding noise on a constant.
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(Statistics, ExtremeMagnitudesStayFinite) {
+  // Largest magnitudes whose squared deviations still fit in a double;
+  // Welford's M2 must stay finite and symmetric samples cancel exactly.
+  RunningStat S;
+  S.add(1e150);
+  S.add(-1e150);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_TRUE(std::isfinite(S.stddev()));
+  EXPECT_DOUBLE_EQ(S.min(), -1e150);
+  EXPECT_DOUBLE_EQ(S.max(), 1e150);
 }
 
 TEST(Statistics, StreamingMoments) {

@@ -47,16 +47,21 @@
 #include "heap/HeapImage.h"
 #include "heap/Metrics.h"
 #include "mm/ManagerFactory.h"
+#include "obs/Profiler.h"
+#include "obs/Timeline.h"
+#include "obs/TimelineSampler.h"
 #include "runner/ExperimentGrid.h"
 #include "runner/ResultSink.h"
 #include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 using namespace pcb;
 
@@ -68,12 +73,17 @@ int usage() {
       << "  bounds    [M=256M n=1M c=50]\n"
       << "  plan      [M=256M n=1M target=2.5]\n"
       << "  simulate  [program=cohen-petrank policy=evacuating logm=14\n"
-      << "             logn=8 c=50 trace=FILE verbose=0]\n"
+      << "             logn=8 c=50 trace=FILE verbose=0 timeline=FILE\n"
+      << "             stride=1]\n"
+      << "  profile   [program=pf policy=evacuating logm=14 logn=8 c=50\n"
+      << "             stride=1 timeline=FILE chart=1]\n"
       << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
       << "  sweep     [program=cohen-petrank policies=all cs=10,25,50,75,100\n"
-      << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=]\n"
+      << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=\n"
+      << "             timeline=PREFIX stride=1]\n"
       << "  fuzz      [seed=1 iterations=50 ops=384 policies=all c=50\n"
-      << "             logm=12 maxlog=8 deep=64 repro-dir=. --threads=N]\n"
+      << "             logm=12 maxlog=8 deep=64 repro-dir=. --threads=N\n"
+      << "             timeline=PREFIX]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
@@ -133,6 +143,41 @@ int cmdPlan(const OptionParser &Opts) {
   return 0;
 }
 
+/// Builds the program named program= — any factory name, or "spec" with
+/// spec=FILE. Prints an error and returns null on failure. Shared by
+/// simulate and profile.
+std::unique_ptr<Program> buildProgram(const OptionParser &Opts,
+                                      const std::string &ProgName,
+                                      uint64_t M, unsigned LogN, double C) {
+  if (ProgName == "spec") {
+    std::string SpecPath = Opts.getString("spec", "");
+    std::ifstream SpecIS(SpecPath);
+    if (SpecPath.empty() || !SpecIS) {
+      std::cerr << "error: program=spec needs a readable spec=FILE\n";
+      return nullptr;
+    }
+    WorkloadSpec Spec;
+    std::string Error;
+    if (!parseWorkloadSpec(SpecIS, Spec, Error)) {
+      std::cerr << "error: " << SpecPath << ": " << Error << "\n";
+      return nullptr;
+    }
+    return std::make_unique<SpecProgram>(M, Spec);
+  }
+  auto Prog = createProgram(ProgName, M, LogN, C);
+  if (!Prog)
+    std::cerr << "error: unknown program '" << ProgName << "'\n";
+  return Prog;
+}
+
+/// Builds a sampler from the common stride= option; attached only when
+/// the caller asked for a timeline.
+TimelineSampler::Options samplerOptions(const OptionParser &Opts) {
+  TimelineSampler::Options SO;
+  SO.Stride = std::max<uint64_t>(1, Opts.getUInt("stride", 1));
+  return SO;
+}
+
 int cmdSimulate(const OptionParser &Opts) {
   std::string ProgName = Opts.getString("program", "cohen-petrank");
   std::string Policy = Opts.getString("policy", "evacuating");
@@ -148,28 +193,9 @@ int cmdSimulate(const OptionParser &Opts) {
     std::cerr << "error: unknown policy '" << Policy << "'\n";
     return 1;
   }
-  std::unique_ptr<Program> Prog;
-  if (ProgName == "spec") {
-    std::string SpecPath = Opts.getString("spec", "");
-    std::ifstream SpecIS(SpecPath);
-    if (SpecPath.empty() || !SpecIS) {
-      std::cerr << "error: program=spec needs a readable spec=FILE\n";
-      return 1;
-    }
-    WorkloadSpec Spec;
-    std::string Error;
-    if (!parseWorkloadSpec(SpecIS, Spec, Error)) {
-      std::cerr << "error: " << SpecPath << ": " << Error << "\n";
-      return 1;
-    }
-    Prog = std::make_unique<SpecProgram>(M, Spec);
-  } else {
-    Prog = createProgram(ProgName, M, LogN, C);
-  }
-  if (!Prog) {
-    std::cerr << "error: unknown program '" << ProgName << "'\n";
+  std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
+  if (!Prog)
     return 1;
-  }
 
   EventLog Log;
   Execution::Options ExecOpts;
@@ -177,6 +203,11 @@ int cmdSimulate(const OptionParser &Opts) {
   if (!TracePath.empty())
     ExecOpts.Log = &Log;
   Execution E(*MM, *Prog, M, ExecOpts);
+
+  std::string TimelinePath = Opts.getString("timeline", "");
+  TimelineSampler Sampler(samplerOptions(Opts));
+  if (!TimelinePath.empty())
+    Sampler.attach(E);
 
   if (Verbose) {
     while (true) {
@@ -216,6 +247,81 @@ int cmdSimulate(const OptionParser &Opts) {
     writeEventLog(OS, Log);
     std::cout << "  trace written to    " << TracePath << " ("
               << Log.size() << " events)\n";
+  }
+  if (!TimelinePath.empty()) {
+    Sampler.finish(E);
+    std::string Error;
+    if (!Sampler.timeline().writeFile(TimelinePath, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "  timeline written to " << TimelinePath << " ("
+              << Sampler.timeline().size() << " points, stride "
+              << Sampler.stride() << ")\n";
+  }
+  return 0;
+}
+
+int cmdProfile(const OptionParser &Opts) {
+  std::string ProgName = Opts.getString("program", "pf");
+  std::string Policy = Opts.getString("policy", "evacuating");
+  unsigned LogM = unsigned(Opts.getUInt("logm", 14));
+  unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+  double C = Opts.getDouble("c", 50.0);
+  bool Chart = Opts.getBool("chart", true);
+  std::string TimelinePath = Opts.getString("timeline", "");
+  uint64_t M = pow2(LogM);
+
+  Heap H;
+  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  if (!MM) {
+    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    return 1;
+  }
+  std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
+  if (!Prog)
+    return 1;
+
+  Execution E(*MM, *Prog, M);
+  TimelineSampler Sampler(samplerOptions(Opts));
+  Sampler.attach(E);
+
+  Profiler Prof;
+  auto Start = std::chrono::steady_clock::now();
+  ExecutionResult R;
+  {
+    ProfilerScope Scope(Prof);
+    R = E.run();
+  }
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  Sampler.finish(E);
+  const Timeline &TL = Sampler.timeline();
+
+  std::cout << "# profile: " << Prog->name() << " vs " << MM->name()
+            << " (M=" << formatWords(M) << ", n=" << formatWords(pow2(LogN))
+            << ", c=" << C << ")\n"
+            << "# HS " << R.HeapSize << " words ("
+            << formatDouble(R.wasteFactor(M), 3) << " x M), " << R.Steps
+            << " steps, moved " << R.MovedWords << ", wall "
+            << formatDouble(Wall, 3) << "s, "
+            << uint64_t(Wall > 0.0 ? double(R.Steps) / Wall : 0.0)
+            << " steps/s\n"
+            << "# timeline: " << TL.size() << " points, stride "
+            << Sampler.stride() << "\n";
+  if (Chart)
+    TL.printCharts(std::cout);
+  std::cout << "\n";
+  Prof.printReport(std::cout, Wall);
+
+  if (!TimelinePath.empty()) {
+    std::string Error;
+    if (!TL.writeFile(TimelinePath, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "# timeline written to " << TimelinePath << "\n";
   }
   return 0;
 }
@@ -325,27 +431,45 @@ int cmdSweep(const OptionParser &Opts) {
 
   ResultSink Sink({"c", "policy", "measured_HS", "measured_waste",
                    "moved_words", "allocs", "frees", "steps"});
-  R.runRows(
-      Grid,
-      [&](const GridCell &Cell) {
-        double C = Cell.num("c");
-        const std::string &Policy = Cell.str("policy");
-        Heap H;
-        auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
-        auto Prog = createProgram(ProgName, M, LogN, C);
-        Execution E(*MM, *Prog, M);
-        ExecutionResult Res = E.run();
-        return Row()
-            .addCell(formatDouble(C, 0))
-            .addCell(Policy)
-            .addCell(Res.HeapSize)
-            .addCell(Res.wasteFactor(M), 3)
-            .addCell(Res.MovedWords)
-            .addCell(Res.NumAllocations)
-            .addCell(Res.NumFrees)
-            .addCell(Res.Steps);
-      },
-      Sink);
+  std::string TimelinePrefix = Opts.getString("timeline", "");
+  TimelineSampler::Options SO = samplerOptions(Opts);
+  try {
+    R.runRows(
+        Grid,
+        [&](const GridCell &Cell) {
+          double C = Cell.num("c");
+          const std::string &Policy = Cell.str("policy");
+          Heap H;
+          auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+          auto Prog = createProgram(ProgName, M, LogN, C);
+          Execution E(*MM, *Prog, M);
+          TimelineSampler Sampler(SO);
+          if (!TimelinePrefix.empty())
+            Sampler.attach(E);
+          ExecutionResult Res = E.run();
+          if (!TimelinePrefix.empty()) {
+            Sampler.finish(E);
+            std::string Tag = "c" + formatDouble(C, 0) + "-" + Policy;
+            std::string Path = timelineCellPath(TimelinePrefix, Tag);
+            std::string Error;
+            if (!Sampler.timeline().writeFile(Path, &Error))
+              throw std::runtime_error(Error);
+          }
+          return Row()
+              .addCell(formatDouble(C, 0))
+              .addCell(Policy)
+              .addCell(Res.HeapSize)
+              .addCell(Res.wasteFactor(M), 3)
+              .addCell(Res.MovedWords)
+              .addCell(Res.NumAllocations)
+              .addCell(Res.NumFrees)
+              .addCell(Res.Steps);
+        },
+        Sink);
+  } catch (const std::exception &Ex) {
+    std::cerr << "error: " << Ex.what() << "\n";
+    return 1;
+  }
   return Sink.emit(Opts) ? 0 : 1;
 }
 
@@ -393,6 +517,7 @@ int cmdFuzz(const OptionParser &Opts) {
   double C = Opts.getDouble("c", 50.0);
   uint64_t Deep = Opts.getUInt("deep", 64);
   std::string ReproDir = Opts.getString("repro-dir", ".");
+  std::string TimelinePrefix = Opts.getString("timeline", "");
   if (Iterations == 0 || NumOps == 0) {
     std::cerr << "error: iterations= and ops= must be positive\n";
     return 1;
@@ -472,6 +597,30 @@ int cmdFuzz(const OptionParser &Opts) {
     DifferentialHarness::writeReproducer(OS, O.Minimal, *Failing);
     std::cerr << "fuzz: reproducer written; re-run with: pcbound"
               << " replay-trace trace=" << Path << "\n";
+    if (!TimelinePrefix.empty()) {
+      // Re-run just the failing policy with a sampler attached, so the
+      // reproducer ships with the heap-state series that led to the
+      // violation. Replay determinism checking is off: this run exists
+      // only to observe.
+      TimelineSampler Sampler;
+      DifferentialHarness::Options TO;
+      TO.Policies = {Failing->Policy};
+      TO.C = C;
+      TO.DeepCheckEvery = Deep;
+      TO.ReplayCheckPolicy.clear();
+      TO.OnExecution = [&Sampler](Execution &E, const std::string &) {
+        Sampler.attach(E);
+      };
+      DifferentialHarness(TO).run(O.Minimal);
+      std::string TLPath = timelineCellPath(
+          TimelinePrefix, "seed" + std::to_string(O.Seed));
+      std::string Error;
+      if (!Sampler.timeline().writeFile(TLPath, &Error))
+        std::cerr << "fuzz: " << Error << "\n";
+      else
+        std::cerr << "fuzz: timeline written to " << TLPath << " ("
+                  << Sampler.timeline().size() << " points)\n";
+    }
   }
 
   if (NumFailed == 0) {
@@ -603,6 +752,8 @@ int main(int argc, char **argv) {
     return cmdPlan(Opts);
   if (Command == "simulate")
     return cmdSimulate(Opts);
+  if (Command == "profile")
+    return cmdProfile(Opts);
   if (Command == "replay")
     return cmdReplay(Opts);
   if (Command == "sweep")
