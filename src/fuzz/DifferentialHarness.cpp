@@ -7,12 +7,15 @@
 
 #include "fuzz/DifferentialHarness.h"
 
+#include "fuzz/IndexParityChecker.h"
+
 #include "driver/Execution.h"
 #include "driver/TraceIO.h"
 #include "mm/ManagerFactory.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <ostream>
 
 using namespace pcb;
@@ -69,8 +72,15 @@ DifferentialHarness::runPolicy(const std::string &Policy,
 
   // The harness owns the event callback (rather than handing the log to
   // Execution) so the LogTap fault-injection port can intercept events.
+  // The index-parity mirror is fed the original event first: it tracks
+  // the real heap, and must stay immune to injected log corruption.
   EventLog Log;
-  H.setEventCallback([this, &Log](const HeapEvent &E) {
+  std::optional<IndexParityChecker> Parity;
+  if (Opts.IndexParity)
+    Parity.emplace(H);
+  H.setEventCallback([this, &Log, &Parity](const HeapEvent &E) {
+    if (Parity)
+      Parity->observe(E);
     HeapEvent Copy = E;
     if (!Opts.LogTap || Opts.LogTap(Copy))
       Log.record(Copy);
@@ -89,6 +99,8 @@ DifferentialHarness::runPolicy(const std::string &Policy,
     Log.record(HeapEvent::stepEnd());
     ++Step;
     Oracle.checkStep(Step, R.Violations);
+    if (Parity)
+      Parity->checkStep(Policy, Step, R.Violations);
   }
   // The endpoint is always checked deeply, whatever the cadence.
   Oracle.checkDeep(Step, R.Violations);

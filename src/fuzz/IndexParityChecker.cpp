@@ -1,0 +1,90 @@
+//===- fuzz/IndexParityChecker.cpp - Live vs reference free index --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/IndexParityChecker.h"
+
+#include <string>
+
+using namespace pcb;
+
+void IndexParityChecker::observe(const HeapEvent &E) {
+  switch (E.Event) {
+  case HeapEvent::Kind::Alloc:
+    Ref.reserve(E.Address, E.Size);
+    break;
+  case HeapEvent::Kind::Free:
+    Ref.release(E.Address, E.Size);
+    break;
+  case HeapEvent::Kind::Move:
+    // Mirror exactly how Heap::move mutates the free index: the source
+    // is released before the target is reserved, which is what makes
+    // overlapping slides legal.
+    Ref.release(E.From, E.Size);
+    Ref.reserve(E.Address, E.Size);
+    break;
+  case HeapEvent::Kind::StepEnd:
+    break;
+  }
+}
+
+void IndexParityChecker::checkStep(const std::string &Policy, uint64_t Step,
+                                   std::vector<Violation> &Out) const {
+  const FreeSpaceIndex &Live = H.freeSpace();
+  auto Report = [&](const std::string &Detail) {
+    Out.push_back(Violation{"index-parity", Policy, Step, Detail});
+  };
+
+  // Structural parity: same blocks, same order.
+  if (Live.numBlocks() != Ref.numBlocks()) {
+    Report("live index has " + std::to_string(Live.numBlocks()) +
+           " blocks but the reference has " +
+           std::to_string(Ref.numBlocks()));
+    return; // the walk below would only repeat the same divergence
+  }
+  auto LIt = Live.begin();
+  for (const auto &[Start, End] : Ref) {
+    auto [LStart, LEnd] = *LIt;
+    if (LStart != Start || LEnd != End) {
+      Report("block [" + std::to_string(LStart) + ", " +
+             std::to_string(LEnd) + ") in the live index but [" +
+             std::to_string(Start) + ", " + std::to_string(End) +
+             ") in the reference");
+      return;
+    }
+    ++LIt;
+  }
+
+  // Query parity at the sizes the policies ask for (powers of two are
+  // the adversarial workloads' vocabulary) and the aggregates the
+  // telemetry samples at the high-water mark.
+  Addr Hwm = H.stats().HighWaterMark;
+  auto Expect = [&](const char *What, uint64_t Arg, uint64_t Got,
+                    uint64_t Want) {
+    if (Got != Want)
+      Report(std::string(What) + "(" + std::to_string(Arg) + ") = " +
+             std::to_string(Got) + " but the reference says " +
+             std::to_string(Want));
+  };
+  for (uint64_t Size = 1; Size <= 1024; Size *= 4) {
+    Expect("firstFit", Size, Live.firstFit(Size), Ref.firstFit(Size));
+    Expect("bestFit", Size, Live.bestFit(Size), Ref.bestFit(Size));
+    Expect("firstFitFrom(hwm/2)", Size, Live.firstFitFrom(Hwm / 2, Size),
+           Ref.firstFitFrom(Hwm / 2, Size));
+    Expect("firstFitAligned(.,8)", Size, Live.firstFitAligned(Size, 8),
+           Ref.firstFitAligned(Size, 8));
+  }
+  if (Hwm != 0) {
+    Expect("worstFitBelow(1,hwm)", Hwm, Live.worstFitBelow(1, Hwm),
+           Ref.worstFitBelow(1, Hwm));
+    Expect("numBlocksBelow", Hwm, Live.numBlocksBelow(Hwm),
+           Ref.numBlocksBelow(Hwm));
+    Expect("largestBlockBelow", Hwm, Live.largestBlockBelow(Hwm),
+           Ref.largestBlockBelow(Hwm));
+    Expect("freeWordsBelow", Hwm, Live.freeWordsBelow(Hwm),
+           Ref.freeWordsBelow(Hwm));
+  }
+}

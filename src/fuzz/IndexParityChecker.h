@@ -1,0 +1,55 @@
+//===- fuzz/IndexParityChecker.h - Live vs reference free index -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A policy-invisible differential checker: mirrors every heap mutation
+/// into the preserved node-based ReferenceFreeSpaceIndex and, at each
+/// step boundary, compares the live flat FreeSpaceIndex against it —
+/// block-for-block, plus the placement and aggregate queries the
+/// managers actually issue. The managers never see the reference index,
+/// so a parity violation always means the flat index (or the mirroring
+/// contract) drifted, never that a policy behaved differently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_FUZZ_INDEXPARITYCHECKER_H
+#define PCBOUND_FUZZ_INDEXPARITYCHECKER_H
+
+#include "fuzz/InvariantOracle.h"
+#include "heap/Heap.h"
+#include "heap/HeapEvent.h"
+#include "testsupport/ReferenceFreeSpaceIndex.h"
+
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+/// Mirrors heap events into a reference free-space index and checks the
+/// live index against it at step boundaries.
+class IndexParityChecker {
+public:
+  explicit IndexParityChecker(const Heap &H) : H(H) {}
+
+  /// Mirrors one heap mutation. Must be fed the *uncorrupted* event
+  /// stream (before any fault-injection tap): the mirror tracks the real
+  /// heap, not the log.
+  void observe(const HeapEvent &E);
+
+  /// Compares the live index against the mirror, appending any
+  /// divergence to \p Out with Check = "index-parity".
+  void checkStep(const std::string &Policy, uint64_t Step,
+                 std::vector<Violation> &Out) const;
+
+private:
+  const Heap &H;
+  ReferenceFreeSpaceIndex Ref;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_FUZZ_INDEXPARITYCHECKER_H

@@ -8,13 +8,25 @@
 /// \file
 /// Maintains the complement of the used space — the free blocks — with the
 /// placement queries the memory-manager policies need: first fit, best
-/// fit, next fit (first fit from a cursor), and aligned first fit.
+/// fit, next fit (first fit from a cursor), aligned first fit, and worst
+/// fit below a limit.
 ///
-/// Three synchronized structures keep every query logarithmic in the
-/// number of free blocks: an address-ordered map, a size-ordered multimap
-/// (best fit), and per-size-class address sets (first fit: the lowest
-/// address among blocks of size >= S is the minimum over one lower_bound
-/// per size class, of which there are at most 61).
+/// The index is a flat, cache-friendly structure: free blocks live in
+/// fixed-capacity leaves (sorted arrays of [start, end) runs in address
+/// order), and a contiguous directory of per-leaf summaries — first
+/// start, largest block size, bitmask of size classes present — lets
+/// every query skip whole leaves with sequential scans instead of
+/// pointer-chasing node-based containers. A 61-entry size-class summary
+/// (presence bitmask, per-class block counts, and a per-class min-address
+/// cache) turns first-fit queries into "binary-search near the answer,
+/// then scan a couple of cache lines".
+///
+/// Semantics are identical to the original map/multimap/set-based
+/// implementation (kept as ReferenceFreeSpaceIndex in the test-support
+/// library and cross-checked continuously by the equivalence property
+/// test and the differential fuzzer's index-parity oracle): all
+/// tie-breaks resolve to the lowest address, and the aggregate queries
+/// numBlocksBelow / largestBlockBelow stay exact for the telemetry layer.
 ///
 /// The heap model is unbounded above (up to AddrLimit); the index always
 /// holds a final "tail" block reaching AddrLimit, so placement queries
@@ -29,17 +41,41 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
-#include <set>
+#include <iterator>
+#include <memory>
 #include <utility>
+#include <vector>
 
 namespace pcb {
 
 /// Address- and size-indexed free blocks with placement queries.
 class FreeSpaceIndex {
+  /// A sorted run of free blocks. Starts/Ends are parallel arrays so the
+  /// address binary searches touch only the Starts cache lines.
+  struct Leaf {
+    static constexpr uint32_t Cap = 64;
+    uint32_t Count = 0;
+    Addr Starts[Cap];
+    Addr Ends[Cap];
+  };
+
+  /// Directory entry: the per-leaf summary the query scans read. Kept
+  /// contiguous (and redundant with the leaf) so pruning a leaf costs one
+  /// sequential cache line, not a pointer chase.
+  struct LeafMeta {
+    Addr FirstStart;    ///< == L->Starts[0]
+    uint64_t MaxSize;   ///< largest block size in the leaf
+    uint64_t ClassMask; ///< bit K set iff the leaf holds a class-K block
+    uint32_t Count;     ///< == L->Count
+    Leaf *L;
+  };
+
 public:
   /// Initializes with the whole address space [0, AddrLimit) free.
   FreeSpaceIndex();
+
+  FreeSpaceIndex(const FreeSpaceIndex &) = delete;
+  FreeSpaceIndex &operator=(const FreeSpaceIndex &) = delete;
 
   /// Marks [Start, Start + Size) free, coalescing neighbours. The range
   /// must currently be absent from the index (i.e. used).
@@ -70,8 +106,14 @@ public:
   /// InvalidAddr when no such placement exists.
   Addr firstFitBelow(uint64_t Size, Addr Limit) const;
 
+  /// Start of the free block with the largest span clipped to [0, Limit)
+  /// among blocks starting below \p Limit whose clipped span is at least
+  /// \p Size (ties broken by lowest address), or InvalidAddr when no such
+  /// block exists. This is classic worst fit over the committed heap.
+  Addr worstFitBelow(uint64_t Size, Addr Limit) const;
+
   /// Number of free blocks (including the infinite tail).
-  size_t numBlocks() const { return ByAddr.size(); }
+  size_t numBlocks() const { return TotalBlocks; }
 
   /// Free words below \p Limit.
   uint64_t freeWordsBelow(Addr Limit) const;
@@ -79,37 +121,116 @@ public:
   /// Free words within [Start, End).
   uint64_t freeWordsIn(Addr Start, Addr End) const;
 
-  /// Number of free blocks that begin below \p Limit. O(log + blocks at
-  /// or above Limit); with Limit at the heap's high-water mark at most
-  /// the tail block lies above, so the fragmentation metrics sample in
-  /// O(log) instead of walking the index.
+  /// Number of free blocks that begin below \p Limit. O(leaves): whole
+  /// leaves are counted from the directory, only the straddling leaf is
+  /// binary-searched.
   size_t numBlocksBelow(Addr Limit) const;
 
   /// Largest free run clipped to [0, Limit): the maximum over blocks
-  /// starting below \p Limit of min(end, Limit) - start. Walks the size
-  /// index from the largest block down and stops as soon as no remaining
-  /// block can beat the best clipped span — O(log) when, as at the
-  /// high-water mark, only the tail block straddles \p Limit.
+  /// starting below \p Limit of min(end, Limit) - start. O(leaves):
+  /// leaves wholly below the limit answer from their MaxSize summary;
+  /// only the leaf straddling \p Limit is scanned.
   uint64_t largestBlockBelow(Addr Limit) const;
 
-  /// Iteration over (start, end) free blocks in address order.
-  using const_iterator = std::map<Addr, Addr>::const_iterator;
-  const_iterator begin() const { return ByAddr.begin(); }
-  const_iterator end() const { return ByAddr.end(); }
+  /// Forward iteration over (start, end) free blocks in address order.
+  class const_iterator {
+  public:
+    using value_type = std::pair<Addr, Addr>;
+    using reference = value_type;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    value_type operator*() const {
+      const Leaf *L = (*Dir)[Li].L;
+      return {L->Starts[Slot], L->Ends[Slot]};
+    }
+    const_iterator &operator++() {
+      if (++Slot == (*Dir)[Li].Count) {
+        ++Li;
+        Slot = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator Old = *this;
+      ++*this;
+      return Old;
+    }
+    bool operator==(const const_iterator &O) const {
+      return Li == O.Li && Slot == O.Slot;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    friend class FreeSpaceIndex;
+    const_iterator(const std::vector<LeafMeta> *Dir, size_t Li,
+                   uint32_t Slot)
+        : Dir(Dir), Li(Li), Slot(Slot) {}
+
+    const std::vector<LeafMeta> *Dir;
+    size_t Li;
+    uint32_t Slot;
+  };
+
+  const_iterator begin() const { return const_iterator(&Dir, 0, 0); }
+  const_iterator end() const {
+    return const_iterator(&Dir, Dir.size(), 0);
+  }
 
 private:
-  void eraseBlock(std::map<Addr, Addr>::iterator It);
-  void addBlock(Addr Start, Addr End);
+  static constexpr size_t NoLeaf = size_t(-1);
+  static constexpr unsigned NumClasses = 61;
 
   /// Size class of a block: floor(log2(size)). Class K holds sizes in
   /// [2^K, 2^(K+1)).
   static unsigned classOf(uint64_t Size);
 
-  static constexpr unsigned NumClasses = 61;
+  /// Index of the last leaf whose FirstStart is <= \p A, or NoLeaf.
+  size_t leafFor(Addr A) const;
 
-  std::map<Addr, Addr> ByAddr;              // start -> end
-  std::set<std::pair<uint64_t, Addr>> BySize; // (size, start); best fit
-  std::set<Addr> Buckets[NumClasses];       // per-class starts (first fit)
+  /// First slot in \p L whose start is > \p A.
+  static uint32_t slotUpperBound(const Leaf &L, Addr A);
+  /// First slot in \p L whose start is >= \p A.
+  static uint32_t slotLowerBound(const Leaf &L, Addr A);
+
+  /// Recomputes Dir[Li]'s FirstStart/MaxSize/ClassMask/Count from the
+  /// leaf. O(leaf size) — a couple of cache lines.
+  void refreshSummary(size_t Li);
+
+  /// Inserts block [S, E) at \p Slot of leaf \p Li, splitting the leaf
+  /// when full; refreshes affected summaries.
+  void insertSlot(size_t Li, uint32_t Slot, Addr S, Addr E);
+
+  /// Erases the block at \p Slot of leaf \p Li, dropping the leaf when it
+  /// becomes empty; refreshes the summary otherwise.
+  void eraseSlot(size_t Li, uint32_t Slot);
+
+  /// Inserts a block with no free neighbours (used by the constructor and
+  /// the no-coalesce release path).
+  void insertBlock(Addr S, Addr E);
+
+  /// Size-class accounting: every block is in exactly one class.
+  void classAdd(uint64_t Size, Addr Start);
+  void classRemove(uint64_t Size);
+
+  /// Lowest address any block of size >= \p Size could start at, from the
+  /// per-class min-address cache (a conservative lower bound; exact again
+  /// each time a class empties). AddrLimit when no class could fit.
+  Addr fitScanHint(unsigned MinClass) const;
+
+  Leaf *newLeaf();
+  void recycleLeaf(Leaf *L);
+
+  std::vector<LeafMeta> Dir;                ///< leaf directory, address order
+  std::vector<std::unique_ptr<Leaf>> Pool;  ///< owns every leaf ever made
+  std::vector<Leaf *> FreeLeaves;           ///< recycled leaves
+  size_t TotalBlocks = 0;
+
+  /// 61-entry size-class summary.
+  uint64_t ClassBits = 0;             ///< bit K set iff ClassCount[K] > 0
+  uint32_t ClassCount[NumClasses] = {};
+  Addr ClassMin[NumClasses];          ///< lower bound on min start per class
 };
 
 } // namespace pcb

@@ -129,6 +129,14 @@ public:
   /// order. O(log live + matches).
   std::vector<ObjectId> liveObjectsIn(Addr Start, uint64_t Size) const;
 
+  /// Id of the lowest-addressed live object starting at or above \p A, or
+  /// InvalidObjectId when none exists. O(log live); lets compactors walk
+  /// the heap in address order without snapshotting the whole live set.
+  ObjectId firstLiveAt(Addr A) const {
+    auto It = LiveByAddr.lower_bound(A);
+    return It == LiveByAddr.end() ? InvalidObjectId : It->second;
+  }
+
 private:
   std::vector<Object> Objects;
   FreeSpaceIndex Free;

@@ -17,10 +17,13 @@ using namespace pcb;
 Addr BumpCompactor::compact() {
   ScopedTimer Timer(Profiler::SecCompaction);
   Profiler::bump(Profiler::CtrCompactionPasses);
-  // Live objects arrive in address order; packing them downward in that
-  // order never collides (the Lisp-2 invariant).
-  Addr Target = 0;
-  for (ObjectId Id : heap().liveObjects()) {
+  // Everything below the lowest free address is contiguously live and so
+  // already packed; the pass starts at the first gap. Live objects arrive
+  // in address order; packing them downward in that order never collides
+  // (the Lisp-2 invariant).
+  Addr FirstGap = heap().freeSpace().firstFit(1);
+  Addr Target = FirstGap;
+  for (ObjectId Id : heap().liveObjectsIn(FirstGap, AddrLimit - FirstGap)) {
     const Object &O = heap().object(Id);
     if (O.Address != Target) {
       [[maybe_unused]] bool Moved = tryMoveObject(Id, Target);

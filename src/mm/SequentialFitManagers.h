@@ -83,17 +83,7 @@ protected:
     // the committed heap, so prefer the largest block strictly below the
     // high-water mark when one fits.
     Addr Hwm = heap().stats().HighWaterMark;
-    Addr Best = InvalidAddr;
-    uint64_t BestSize = 0;
-    for (const auto &[Start, End] : heap().freeSpace()) {
-      if (Start >= Hwm)
-        break;
-      uint64_t Span = std::min(End, Hwm) - Start;
-      if (Span >= Size && Span > BestSize) {
-        BestSize = Span;
-        Best = Start;
-      }
-    }
+    Addr Best = heap().freeSpace().worstFitBelow(Size, Hwm);
     return Best != InvalidAddr ? Best : heap().freeSpace().firstFit(Size);
   }
 };

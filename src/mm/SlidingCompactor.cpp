@@ -49,18 +49,20 @@ Addr SlidingCompactor::placeFor(uint64_t Size) {
 uint64_t SlidingCompactor::slideAll() {
   ScopedTimer Timer(Profiler::SecCompaction);
   Profiler::bump(Profiler::CtrCompactionPasses);
-  // Live objects come back in address order; sliding each to the packed
-  // position never collides because predecessors have already moved left.
-  std::vector<ObjectId> Live = heap().liveObjects();
-
+  // Everything below the lowest free address is contiguously live, i.e.
+  // already at its packed position, so the slide starts at the first gap.
+  // Objects are visited in address order, lazily: a pass usually ends on
+  // the first budget-denied move, so snapshotting the whole live set up
+  // front is O(live) of mostly wasted work. The walk ahead of the cursor
+  // is stable because moves only go downward and the move callback can
+  // free only the just-moved object, which is already behind the cursor.
+  // Sliding each object to the packed position never collides because
+  // predecessors have already moved left.
   uint64_t Moved = 0;
-  Addr Target = 0;
-  for (ObjectId Id : Live) {
-    // The program may have freed a previously moved object from under us
-    // (PF does); skip anything no longer live.
-    if (!heap().isLive(Id))
-      continue;
+  Addr Target = heap().freeSpace().firstFit(1);
+  for (ObjectId Id = heap().firstLiveAt(Target); Id != InvalidObjectId;) {
     const Object &O = heap().object(Id);
+    Addr After = O.Address + 1;
     if (O.Address != Target) {
       assert(Target < O.Address && "sliding would move an object upward");
       if (!tryMoveObject(Id, Target))
@@ -71,6 +73,7 @@ uint64_t SlidingCompactor::slideAll() {
     // consumed its packed span only if it is still there.
     if (heap().isLive(Id))
       Target += O.Size;
+    Id = heap().firstLiveAt(After);
   }
   return Moved;
 }

@@ -211,6 +211,27 @@ TEST(FailureInjection, FreeIndexReleaseOverlappingSuccessorDies) {
       "releasing a range that is partly free");
 }
 
+// The address space is [0, AddrLimit): an object may end exactly at the
+// limit, and the very next word over must die. The boundary block is the
+// infinite tail, so this also pins the index's handling of a reserve
+// that consumes the tail's last addressable words.
+TEST(FailureInjection, PlacementEndingAtAddrLimitLivesOnePastDies) {
+  {
+    Heap H;
+    ObjectId A = H.place(AddrLimit - 8, 8); // ends exactly at the limit
+    EXPECT_EQ(H.object(A).Address, AddrLimit - 8);
+    EXPECT_FALSE(H.isFree(AddrLimit - 8, 8));
+    H.free(A); // and the tail coalesces back to one block
+    EXPECT_EQ(H.freeSpace().numBlocks(), 1u);
+  }
+  EXPECT_DEATH(
+      {
+        Heap H;
+        H.place(AddrLimit - 4, 8);
+      },
+      "placement beyond the address space");
+}
+
 TEST(FailureInjection, InadmissibleSigmaOverrideDies) {
   EXPECT_DEATH(
       {

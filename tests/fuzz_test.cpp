@@ -20,6 +20,7 @@
 #include "driver/Auditors.h"
 #include "driver/TraceIO.h"
 #include "fuzz/DifferentialHarness.h"
+#include "fuzz/IndexParityChecker.h"
 #include "fuzz/InvariantOracle.h"
 #include "fuzz/WorkloadFuzzer.h"
 #include "mm/ManagerFactory.h"
@@ -229,6 +230,43 @@ TEST(InvariantOracle, CatchesDroppedEventInLog) {
   EXPECT_EQ(Out.front().Check, "audit-mismatch");
 }
 
+// --- The index-parity checker ----------------------------------------------
+
+TEST(IndexParity, CleanMirrorStaysClean) {
+  Heap H;
+  IndexParityChecker Parity(H);
+  H.setEventCallback([&](const HeapEvent &E) { Parity.observe(E); });
+  FirstFitManager MM(H, 50.0);
+  ObjectId A = MM.allocate(8);
+  ObjectId B = MM.allocate(4);
+  ASSERT_NE(A, InvalidObjectId);
+  MM.free(A);
+  ASSERT_NE(MM.allocate(16), InvalidObjectId);
+  (void)B;
+  std::vector<Violation> Out;
+  Parity.checkStep("first-fit", 1, Out);
+  EXPECT_TRUE(Out.empty()) << Out.front().describe();
+}
+
+TEST(IndexParity, CatchesDivergentMirror) {
+  Heap H;
+  IndexParityChecker Parity(H);
+  bool Mirror = true;
+  H.setEventCallback([&](const HeapEvent &E) {
+    if (Mirror)
+      Parity.observe(E);
+  });
+  FirstFitManager MM(H, 50.0);
+  ASSERT_NE(MM.allocate(8), InvalidObjectId);
+  Mirror = false; // the mirror misses this allocation: indexes diverge
+  ASSERT_NE(MM.allocate(4), InvalidObjectId);
+  std::vector<Violation> Out;
+  Parity.checkStep("first-fit", 1, Out);
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.front().Check, "index-parity");
+  EXPECT_EQ(Out.front().Policy, "first-fit");
+}
+
 // --- The planted-bug experiment --------------------------------------------
 
 DifferentialHarness::Options plantedBugOptions() {
@@ -258,6 +296,10 @@ TEST(PlantedBug, OracleCatchesCorruptedEventStream) {
   for (const Violation &V : Report.allViolations())
     SawEventStream |= V.Check == "event-stream";
   EXPECT_TRUE(SawEventStream) << Report.summary();
+  // The corruption lives in the logging layer only; the index-parity
+  // mirror watches the real heap and must not be fooled by it.
+  for (const Violation &V : Report.allViolations())
+    EXPECT_NE(V.Check, "index-parity") << V.describe();
 }
 
 TEST(PlantedBug, ShrinksToAFewOpsAndWritesAReplayableReproducer) {

@@ -130,6 +130,60 @@ TEST(AlignedFit, AlignsToRoundedSize) {
   EXPECT_EQ(H.object(B).Address % 8, 0u);
 }
 
+// The cursor lands inside the infinite tail block: the next request must
+// be served from the cursor itself (the block containing the cursor
+// counts from the cursor onward), not from the tail's start or a hole
+// behind the cursor.
+TEST(NextFit, CursorInsideTailBlockAllocatesAtCursor) {
+  Heap H;
+  NextFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(8);
+  ObjectId B = MM.allocate(8);
+  MM.free(A); // hole [0, 8) behind the cursor; tail starts at 16
+  MM.free(B);
+  // The whole space is one free block [0, AddrLimit) again, and the
+  // cursor sits at 16, strictly inside it.
+  ASSERT_EQ(H.freeSpace().numBlocks(), 1u);
+  ObjectId C = MM.allocate(4);
+  EXPECT_EQ(H.object(C).Address, 16u);
+  // The cursor keeps advancing through the tail rather than rewinding.
+  ObjectId D = MM.allocate(4);
+  EXPECT_EQ(H.object(D).Address, 20u);
+}
+
+// A cursor parked exactly at the start of the tail block is the
+// wraparound boundary case: the fit query's "block containing From"
+// probe and its "first block at or after From" scan meet at one address.
+TEST(NextFit, CursorExactlyAtTailStart) {
+  Heap H;
+  NextFitManager MM(H, 10.0);
+  ObjectId A = MM.allocate(8); // cursor = 8 = tail start
+  (void)A;
+  ObjectId B = MM.allocate(8);
+  EXPECT_EQ(H.object(B).Address, 8u);
+}
+
+// Every finite hole is smaller than the request's alignment, so aligned
+// fit must skip them all and place in the tail at the next aligned
+// address — not in any unaligned-but-large-enough scrap.
+TEST(AlignedFit, AlignmentLargerThanAnyFiniteHole) {
+  Heap H;
+  AlignedFitManager MM(H, 10.0);
+  // Pin 1-word objects at every 4th address so the free space below the
+  // frontier is eight 3-word holes at addresses 1 mod 4.
+  for (Addr A = 0; A <= 32; A += 4)
+    H.place(A, 1);
+  // Request 16 -> alignment 16, larger than any finite hole: the
+  // placement must come from the tail at the next 16-aligned address.
+  ObjectId Big = MM.allocate(16);
+  EXPECT_EQ(H.object(Big).Address, 48u);
+  // A 3-word request (alignment 4) fits no hole either: each hole starts
+  // at 1 mod 4 and is only 3 words deep, so its only 4-aligned address
+  // is its one-past-the-end. The gap before Big serves it at 36.
+  ObjectId Small = MM.allocate(3);
+  EXPECT_EQ(H.object(Small).Address, 36u);
+}
+
 // --- Buddy ---------------------------------------------------------------
 
 TEST(Buddy, SplitsAndCoalesces) {

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_pf_sim JSON against the committed baseline.
+
+Usage: compare_bench.py BASELINE.json FRESH.json [--max-regression PCT]
+
+Fails (exit 1) when the fresh run's steps_per_second has regressed by
+more than --max-regression percent (default 20) relative to the
+baseline, or when the two runs measured different grids (comparing
+steps/sec across different grids is meaningless). Also prints the
+per-phase ns_per_call deltas so CI logs show where time moved.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=20.0,
+                    help="maximum steps_per_second drop, in percent")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    # The throughput number is only comparable on an identical grid.
+    for key in ("bench", "logm", "logn", "cs", "total_steps"):
+        if base.get(key) != fresh.get(key):
+            print(f"error: grid mismatch on '{key}': baseline "
+                  f"{base.get(key)!r} vs fresh {fresh.get(key)!r}",
+                  file=sys.stderr)
+            return 1
+
+    b, f = base["steps_per_second"], fresh["steps_per_second"]
+    change = 100.0 * (f - b) / b
+    print(f"steps_per_second: baseline {b}, fresh {f} ({change:+.1f}%)")
+
+    base_phases = {p["section"]: p for p in base.get("per_phase", [])}
+    for p in fresh.get("per_phase", []):
+        bp = base_phases.get(p["section"])
+        if bp is None:
+            continue
+        d = p["ns_per_call"] - bp["ns_per_call"]
+        print(f"  {p['section']:>12}: {bp['ns_per_call']:>10.1f} -> "
+              f"{p['ns_per_call']:>10.1f} ns/call ({d:+.1f})")
+
+    if change < -args.max_regression:
+        print(f"error: steps_per_second regressed {-change:.1f}% "
+              f"(> {args.max_regression}% allowed)", file=sys.stderr)
+        return 1
+    print("bench comparison OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@
 //                                               run a (policy x c) grid of
 //                                               executions in parallel
 //   pcbound fuzz     [seed= iterations= ops= policies= c= logm= maxlog=
-//                     deep= repro-dir= --threads=N]
+//                     deep= index-oracle= repro-dir= --threads=N]
 //                                               differential fuzzing: random
 //                                               schedules through every
 //                                               policy, invariants checked
@@ -82,8 +82,8 @@ int usage() {
       << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=\n"
       << "             timeline=PREFIX stride=1]\n"
       << "  fuzz      [seed=1 iterations=50 ops=384 policies=all c=50\n"
-      << "             logm=12 maxlog=8 deep=64 repro-dir=. --threads=N\n"
-      << "             timeline=PREFIX]\n"
+      << "             logm=12 maxlog=8 deep=64 index-oracle=1 repro-dir=.\n"
+      << "             --threads=N timeline=PREFIX]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
@@ -535,6 +535,9 @@ int cmdFuzz(const OptionParser &Opts) {
   HO.Policies = Policies;
   HO.C = C;
   HO.DeepCheckEvery = Deep;
+  // index-oracle=0 drops the per-step live-vs-reference free-index
+  // cross-check (on by default; the CI fuzz smoke relies on it).
+  HO.IndexParity = Opts.getBool("index-oracle", true);
   DifferentialHarness Harness(HO);
 
   RunnerOptions RO;
