@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_manager_tuning"
+  "../bench/bench_manager_tuning.pdb"
+  "CMakeFiles/bench_manager_tuning.dir/bench_manager_tuning.cpp.o"
+  "CMakeFiles/bench_manager_tuning.dir/bench_manager_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manager_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pf_n_sweep"
+  "../bench/bench_pf_n_sweep.pdb"
+  "CMakeFiles/bench_pf_n_sweep.dir/bench_pf_n_sweep.cpp.o"
+  "CMakeFiles/bench_pf_n_sweep.dir/bench_pf_n_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pf_n_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pf_sim"
+  "../bench/bench_pf_sim.pdb"
+  "CMakeFiles/bench_pf_sim.dir/bench_pf_sim.cpp.o"
+  "CMakeFiles/bench_pf_sim.dir/bench_pf_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_robson"
+  "../bench/bench_robson.pdb"
+  "CMakeFiles/bench_robson.dir/bench_robson.cpp.o"
+  "CMakeFiles/bench_robson.dir/bench_robson.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_upper"
+  "../bench/bench_upper.pdb"
+  "CMakeFiles/bench_upper.dir/bench_upper.cpp.o"
+  "CMakeFiles/bench_upper.dir/bench_upper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_explorer.dir/bounds_explorer.cpp.o"
+  "CMakeFiles/bounds_explorer.dir/bounds_explorer.cpp.o.d"
+  "bounds_explorer"
+  "bounds_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_tradeoff.dir/compaction_tradeoff.cpp.o"
+  "CMakeFiles/compaction_tradeoff.dir/compaction_tradeoff.cpp.o.d"
+  "compaction_tradeoff"
+  "compaction_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

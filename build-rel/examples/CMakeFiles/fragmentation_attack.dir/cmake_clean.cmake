@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_attack.dir/fragmentation_attack.cpp.o"
+  "CMakeFiles/fragmentation_attack.dir/fragmentation_attack.cpp.o.d"
+  "fragmentation_attack"
+  "fragmentation_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potential_function.dir/potential_function.cpp.o"
+  "CMakeFiles/potential_function.dir/potential_function.cpp.o.d"
+  "potential_function"
+  "potential_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potential_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

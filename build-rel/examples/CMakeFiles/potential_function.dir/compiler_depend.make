@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for potential_function.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for potential_function.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/CohenPetrankProgram.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/CohenPetrankProgram.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/CohenPetrankProgram.cpp.o.d"
+  "/root/repo/src/adversary/PatternWorkloads.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/PatternWorkloads.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/PatternWorkloads.cpp.o.d"
+  "/root/repo/src/adversary/Program.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/Program.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/Program.cpp.o.d"
+  "/root/repo/src/adversary/ProgramFactory.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/ProgramFactory.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/ProgramFactory.cpp.o.d"
+  "/root/repo/src/adversary/RobsonCore.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/RobsonCore.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/RobsonCore.cpp.o.d"
+  "/root/repo/src/adversary/RobsonProgram.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/RobsonProgram.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/RobsonProgram.cpp.o.d"
+  "/root/repo/src/adversary/SyntheticWorkloads.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/SyntheticWorkloads.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/SyntheticWorkloads.cpp.o.d"
+  "/root/repo/src/adversary/WorkloadSpec.cpp" "src/adversary/CMakeFiles/pcb_adversary.dir/WorkloadSpec.cpp.o" "gcc" "src/adversary/CMakeFiles/pcb_adversary.dir/WorkloadSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/bounds/CMakeFiles/pcb_bounds.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/heap/CMakeFiles/pcb_heap.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_adversary.dir/CohenPetrankProgram.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/CohenPetrankProgram.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/PatternWorkloads.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/PatternWorkloads.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/Program.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/Program.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/ProgramFactory.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/ProgramFactory.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/RobsonCore.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/RobsonCore.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/RobsonProgram.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/RobsonProgram.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/SyntheticWorkloads.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/SyntheticWorkloads.cpp.o.d"
+  "CMakeFiles/pcb_adversary.dir/WorkloadSpec.cpp.o"
+  "CMakeFiles/pcb_adversary.dir/WorkloadSpec.cpp.o.d"
+  "libpcb_adversary.a"
+  "libpcb_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

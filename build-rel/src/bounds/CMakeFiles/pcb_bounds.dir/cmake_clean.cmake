@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_bounds.dir/BenderskyPetrankBounds.cpp.o"
+  "CMakeFiles/pcb_bounds.dir/BenderskyPetrankBounds.cpp.o.d"
+  "CMakeFiles/pcb_bounds.dir/BoundSweep.cpp.o"
+  "CMakeFiles/pcb_bounds.dir/BoundSweep.cpp.o.d"
+  "CMakeFiles/pcb_bounds.dir/CohenPetrankBounds.cpp.o"
+  "CMakeFiles/pcb_bounds.dir/CohenPetrankBounds.cpp.o.d"
+  "CMakeFiles/pcb_bounds.dir/Planning.cpp.o"
+  "CMakeFiles/pcb_bounds.dir/Planning.cpp.o.d"
+  "CMakeFiles/pcb_bounds.dir/RobsonBounds.cpp.o"
+  "CMakeFiles/pcb_bounds.dir/RobsonBounds.cpp.o.d"
+  "libpcb_bounds.a"
+  "libpcb_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

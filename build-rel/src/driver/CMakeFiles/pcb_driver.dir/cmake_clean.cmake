@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_driver.dir/Auditors.cpp.o"
+  "CMakeFiles/pcb_driver.dir/Auditors.cpp.o.d"
+  "CMakeFiles/pcb_driver.dir/EventLog.cpp.o"
+  "CMakeFiles/pcb_driver.dir/EventLog.cpp.o.d"
+  "CMakeFiles/pcb_driver.dir/Execution.cpp.o"
+  "CMakeFiles/pcb_driver.dir/Execution.cpp.o.d"
+  "CMakeFiles/pcb_driver.dir/TraceIO.cpp.o"
+  "CMakeFiles/pcb_driver.dir/TraceIO.cpp.o.d"
+  "libpcb_driver.a"
+  "libpcb_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

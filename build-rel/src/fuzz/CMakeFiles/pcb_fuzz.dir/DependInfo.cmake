@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/DifferentialHarness.cpp" "src/fuzz/CMakeFiles/pcb_fuzz.dir/DifferentialHarness.cpp.o" "gcc" "src/fuzz/CMakeFiles/pcb_fuzz.dir/DifferentialHarness.cpp.o.d"
+  "/root/repo/src/fuzz/IndexParityChecker.cpp" "src/fuzz/CMakeFiles/pcb_fuzz.dir/IndexParityChecker.cpp.o" "gcc" "src/fuzz/CMakeFiles/pcb_fuzz.dir/IndexParityChecker.cpp.o.d"
+  "/root/repo/src/fuzz/InvariantOracle.cpp" "src/fuzz/CMakeFiles/pcb_fuzz.dir/InvariantOracle.cpp.o" "gcc" "src/fuzz/CMakeFiles/pcb_fuzz.dir/InvariantOracle.cpp.o.d"
+  "/root/repo/src/fuzz/WorkloadFuzzer.cpp" "src/fuzz/CMakeFiles/pcb_fuzz.dir/WorkloadFuzzer.cpp.o" "gcc" "src/fuzz/CMakeFiles/pcb_fuzz.dir/WorkloadFuzzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/driver/CMakeFiles/pcb_driver.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/adversary/CMakeFiles/pcb_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/mm/CMakeFiles/pcb_mm.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/heap/CMakeFiles/pcb_heap.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/testsupport/CMakeFiles/pcb_testsupport.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/bounds/CMakeFiles/pcb_bounds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_fuzz.dir/DifferentialHarness.cpp.o"
+  "CMakeFiles/pcb_fuzz.dir/DifferentialHarness.cpp.o.d"
+  "CMakeFiles/pcb_fuzz.dir/IndexParityChecker.cpp.o"
+  "CMakeFiles/pcb_fuzz.dir/IndexParityChecker.cpp.o.d"
+  "CMakeFiles/pcb_fuzz.dir/InvariantOracle.cpp.o"
+  "CMakeFiles/pcb_fuzz.dir/InvariantOracle.cpp.o.d"
+  "CMakeFiles/pcb_fuzz.dir/WorkloadFuzzer.cpp.o"
+  "CMakeFiles/pcb_fuzz.dir/WorkloadFuzzer.cpp.o.d"
+  "libpcb_fuzz.a"
+  "libpcb_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_heap.dir/FreeSpaceIndex.cpp.o"
+  "CMakeFiles/pcb_heap.dir/FreeSpaceIndex.cpp.o.d"
+  "CMakeFiles/pcb_heap.dir/Heap.cpp.o"
+  "CMakeFiles/pcb_heap.dir/Heap.cpp.o.d"
+  "CMakeFiles/pcb_heap.dir/HeapImage.cpp.o"
+  "CMakeFiles/pcb_heap.dir/HeapImage.cpp.o.d"
+  "CMakeFiles/pcb_heap.dir/IntervalSet.cpp.o"
+  "CMakeFiles/pcb_heap.dir/IntervalSet.cpp.o.d"
+  "CMakeFiles/pcb_heap.dir/Metrics.cpp.o"
+  "CMakeFiles/pcb_heap.dir/Metrics.cpp.o.d"
+  "libpcb_heap.a"
+  "libpcb_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

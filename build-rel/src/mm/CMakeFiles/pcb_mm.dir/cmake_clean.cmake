@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_mm.dir/BuddyManager.cpp.o"
+  "CMakeFiles/pcb_mm.dir/BuddyManager.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/BumpCompactor.cpp.o"
+  "CMakeFiles/pcb_mm.dir/BumpCompactor.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/EvacuatingCompactor.cpp.o"
+  "CMakeFiles/pcb_mm.dir/EvacuatingCompactor.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/HybridManager.cpp.o"
+  "CMakeFiles/pcb_mm.dir/HybridManager.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/ManagerFactory.cpp.o"
+  "CMakeFiles/pcb_mm.dir/ManagerFactory.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/MemoryManager.cpp.o"
+  "CMakeFiles/pcb_mm.dir/MemoryManager.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/PagedSpaceManager.cpp.o"
+  "CMakeFiles/pcb_mm.dir/PagedSpaceManager.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/SegregatedFitManager.cpp.o"
+  "CMakeFiles/pcb_mm.dir/SegregatedFitManager.cpp.o.d"
+  "CMakeFiles/pcb_mm.dir/SlidingCompactor.cpp.o"
+  "CMakeFiles/pcb_mm.dir/SlidingCompactor.cpp.o.d"
+  "libpcb_mm.a"
+  "libpcb_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_obs.dir/Profiler.cpp.o"
+  "CMakeFiles/pcb_obs.dir/Profiler.cpp.o.d"
+  "CMakeFiles/pcb_obs.dir/Timeline.cpp.o"
+  "CMakeFiles/pcb_obs.dir/Timeline.cpp.o.d"
+  "CMakeFiles/pcb_obs.dir/TimelineSampler.cpp.o"
+  "CMakeFiles/pcb_obs.dir/TimelineSampler.cpp.o.d"
+  "libpcb_obs.a"
+  "libpcb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_runner.dir/ExperimentGrid.cpp.o"
+  "CMakeFiles/pcb_runner.dir/ExperimentGrid.cpp.o.d"
+  "CMakeFiles/pcb_runner.dir/ResultSink.cpp.o"
+  "CMakeFiles/pcb_runner.dir/ResultSink.cpp.o.d"
+  "CMakeFiles/pcb_runner.dir/Runner.cpp.o"
+  "CMakeFiles/pcb_runner.dir/Runner.cpp.o.d"
+  "libpcb_runner.a"
+  "libpcb_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

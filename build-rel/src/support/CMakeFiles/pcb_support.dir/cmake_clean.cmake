@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_support.dir/AsciiChart.cpp.o"
+  "CMakeFiles/pcb_support.dir/AsciiChart.cpp.o.d"
+  "CMakeFiles/pcb_support.dir/OptionParser.cpp.o"
+  "CMakeFiles/pcb_support.dir/OptionParser.cpp.o.d"
+  "CMakeFiles/pcb_support.dir/Random.cpp.o"
+  "CMakeFiles/pcb_support.dir/Random.cpp.o.d"
+  "CMakeFiles/pcb_support.dir/Table.cpp.o"
+  "CMakeFiles/pcb_support.dir/Table.cpp.o.d"
+  "libpcb_support.a"
+  "libpcb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_testsupport.dir/ReferenceFreeSpaceIndex.cpp.o"
+  "CMakeFiles/pcb_testsupport.dir/ReferenceFreeSpaceIndex.cpp.o.d"
+  "libpcb_testsupport.a"
+  "libpcb_testsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_testsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcb_testsupport.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/driver_test.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/driver_test.dir/driver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/obs/CMakeFiles/pcb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/fuzz/CMakeFiles/pcb_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/testsupport/CMakeFiles/pcb_testsupport.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/runner/CMakeFiles/pcb_runner.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/driver/CMakeFiles/pcb_driver.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/adversary/CMakeFiles/pcb_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/mm/CMakeFiles/pcb_mm.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/bounds/CMakeFiles/pcb_bounds.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/heap/CMakeFiles/pcb_heap.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_equiv_test.dir/index_equiv_test.cpp.o"
+  "CMakeFiles/index_equiv_test.dir/index_equiv_test.cpp.o.d"
+  "index_equiv_test"
+  "index_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcbound.dir/pcbound.cpp.o"
+  "CMakeFiles/pcbound.dir/pcbound.cpp.o.d"
+  "pcbound"
+  "pcbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bounds_explorer.cpp" "examples/CMakeFiles/bounds_explorer.dir/bounds_explorer.cpp.o" "gcc" "examples/CMakeFiles/bounds_explorer.dir/bounds_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/driver/CMakeFiles/pcb_driver.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/adversary/CMakeFiles/pcb_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/mm/CMakeFiles/pcb_mm.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/bounds/CMakeFiles/pcb_bounds.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/heap/CMakeFiles/pcb_heap.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

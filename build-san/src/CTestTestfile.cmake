@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-san/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("runner")
+subdirs("heap")
+subdirs("bounds")
+subdirs("mm")
+subdirs("adversary")
+subdirs("driver")
+subdirs("obs")
+subdirs("testsupport")
+subdirs("fuzz")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/BenderskyPetrankBounds.cpp" "src/bounds/CMakeFiles/pcb_bounds.dir/BenderskyPetrankBounds.cpp.o" "gcc" "src/bounds/CMakeFiles/pcb_bounds.dir/BenderskyPetrankBounds.cpp.o.d"
+  "/root/repo/src/bounds/BoundSweep.cpp" "src/bounds/CMakeFiles/pcb_bounds.dir/BoundSweep.cpp.o" "gcc" "src/bounds/CMakeFiles/pcb_bounds.dir/BoundSweep.cpp.o.d"
+  "/root/repo/src/bounds/CohenPetrankBounds.cpp" "src/bounds/CMakeFiles/pcb_bounds.dir/CohenPetrankBounds.cpp.o" "gcc" "src/bounds/CMakeFiles/pcb_bounds.dir/CohenPetrankBounds.cpp.o.d"
+  "/root/repo/src/bounds/Planning.cpp" "src/bounds/CMakeFiles/pcb_bounds.dir/Planning.cpp.o" "gcc" "src/bounds/CMakeFiles/pcb_bounds.dir/Planning.cpp.o.d"
+  "/root/repo/src/bounds/RobsonBounds.cpp" "src/bounds/CMakeFiles/pcb_bounds.dir/RobsonBounds.cpp.o" "gcc" "src/bounds/CMakeFiles/pcb_bounds.dir/RobsonBounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

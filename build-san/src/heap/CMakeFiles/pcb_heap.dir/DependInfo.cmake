@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/FreeSpaceIndex.cpp" "src/heap/CMakeFiles/pcb_heap.dir/FreeSpaceIndex.cpp.o" "gcc" "src/heap/CMakeFiles/pcb_heap.dir/FreeSpaceIndex.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/heap/CMakeFiles/pcb_heap.dir/Heap.cpp.o" "gcc" "src/heap/CMakeFiles/pcb_heap.dir/Heap.cpp.o.d"
+  "/root/repo/src/heap/HeapImage.cpp" "src/heap/CMakeFiles/pcb_heap.dir/HeapImage.cpp.o" "gcc" "src/heap/CMakeFiles/pcb_heap.dir/HeapImage.cpp.o.d"
+  "/root/repo/src/heap/IntervalSet.cpp" "src/heap/CMakeFiles/pcb_heap.dir/IntervalSet.cpp.o" "gcc" "src/heap/CMakeFiles/pcb_heap.dir/IntervalSet.cpp.o.d"
+  "/root/repo/src/heap/Metrics.cpp" "src/heap/CMakeFiles/pcb_heap.dir/Metrics.cpp.o" "gcc" "src/heap/CMakeFiles/pcb_heap.dir/Metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/BuddyManager.cpp" "src/mm/CMakeFiles/pcb_mm.dir/BuddyManager.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/BuddyManager.cpp.o.d"
+  "/root/repo/src/mm/BumpCompactor.cpp" "src/mm/CMakeFiles/pcb_mm.dir/BumpCompactor.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/BumpCompactor.cpp.o.d"
+  "/root/repo/src/mm/EvacuatingCompactor.cpp" "src/mm/CMakeFiles/pcb_mm.dir/EvacuatingCompactor.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/EvacuatingCompactor.cpp.o.d"
+  "/root/repo/src/mm/HybridManager.cpp" "src/mm/CMakeFiles/pcb_mm.dir/HybridManager.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/HybridManager.cpp.o.d"
+  "/root/repo/src/mm/ManagerFactory.cpp" "src/mm/CMakeFiles/pcb_mm.dir/ManagerFactory.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/ManagerFactory.cpp.o.d"
+  "/root/repo/src/mm/MemoryManager.cpp" "src/mm/CMakeFiles/pcb_mm.dir/MemoryManager.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/MemoryManager.cpp.o.d"
+  "/root/repo/src/mm/PagedSpaceManager.cpp" "src/mm/CMakeFiles/pcb_mm.dir/PagedSpaceManager.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/PagedSpaceManager.cpp.o.d"
+  "/root/repo/src/mm/SegregatedFitManager.cpp" "src/mm/CMakeFiles/pcb_mm.dir/SegregatedFitManager.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/SegregatedFitManager.cpp.o.d"
+  "/root/repo/src/mm/SlidingCompactor.cpp" "src/mm/CMakeFiles/pcb_mm.dir/SlidingCompactor.cpp.o" "gcc" "src/mm/CMakeFiles/pcb_mm.dir/SlidingCompactor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/heap/CMakeFiles/pcb_heap.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/ExperimentGrid.cpp" "src/runner/CMakeFiles/pcb_runner.dir/ExperimentGrid.cpp.o" "gcc" "src/runner/CMakeFiles/pcb_runner.dir/ExperimentGrid.cpp.o.d"
+  "/root/repo/src/runner/ResultSink.cpp" "src/runner/CMakeFiles/pcb_runner.dir/ResultSink.cpp.o" "gcc" "src/runner/CMakeFiles/pcb_runner.dir/ResultSink.cpp.o.d"
+  "/root/repo/src/runner/Runner.cpp" "src/runner/CMakeFiles/pcb_runner.dir/Runner.cpp.o" "gcc" "src/runner/CMakeFiles/pcb_runner.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/support/CMakeFiles/pcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-san/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_bounds "/root/repo/build-san/tools/pcbound" "bounds" "c=100")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build-san/tools/pcbound" "plan" "target=2.0")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_policies "/root/repo/build-san/tools/pcbound" "policies")
+set_tests_properties(cli_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build-san/tools/pcbound" "simulate" "program=robson" "policy=first-fit" "logm=11" "logn=5")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build-san/tools/pcbound" "profile" "program=pf" "policy=evacuating" "logm=11" "logn=5" "stride=4" "timeline=/root/repo/build-san/tools/profile-timeline.csv")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_timeline "/root/repo/build-san/tools/pcbound" "sweep" "program=robson" "policies=first-fit" "cs=50" "logm=11" "logn=5" "--threads=1" "progress=0" "timeline=/root/repo/build-san/tools/sweep-timeline.csv")
+set_tests_properties(cli_sweep_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build-san/tools/pcbound" "sweep" "program=robson" "policies=first-fit,best-fit" "cs=10,50" "logm=11" "logn=5" "--threads=2")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fuzz "/root/repo/build-san/tools/pcbound" "fuzz" "seed=7" "iterations=8" "ops=128" "logm=10" "maxlog=6" "--threads=2" "progress=0")
+set_tests_properties(cli_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay_trace_detects_golden_corruption "/root/repo/build-san/tools/pcbound" "replay-trace" "trace=/root/repo/tests/golden/planted-free-corruption.trace")
+set_tests_properties(cli_replay_trace_detects_golden_corruption PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build-san/tools/pcbound")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
