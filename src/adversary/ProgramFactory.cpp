@@ -51,6 +51,27 @@ std::unique_ptr<Program> pcb::createProgram(const std::string &Name,
   return nullptr;
 }
 
+std::unique_ptr<Program> pcb::createProgramChecked(const std::string &Name,
+                                                   uint64_t M, unsigned LogN,
+                                                   double C,
+                                                   std::string *Error) {
+  std::unique_ptr<Program> P = createProgram(Name, M, LogN, C);
+  if (!P && Error)
+    *Error =
+        "unknown program '" + Name + "'; valid programs: " + programNameList();
+  return P;
+}
+
+std::string pcb::programNameList() {
+  std::string List;
+  for (const std::string &Name : allProgramNames()) {
+    if (!List.empty())
+      List += ", ";
+    List += Name;
+  }
+  return List;
+}
+
 std::vector<std::string> pcb::allProgramNames() {
   return {"robson",      "cohen-petrank", "random-churn", "markov-phase",
           "stack-lifo", "queue-fifo",    "sawtooth"};

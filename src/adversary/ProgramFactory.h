@@ -31,6 +31,19 @@ namespace pcb {
 std::unique_ptr<Program> createProgram(const std::string &Name, uint64_t M,
                                        unsigned LogN, double C);
 
+/// createProgram with a diagnosable failure: on an unknown name returns
+/// nullptr and, when \p Error is non-null, sets *Error to a one-line
+/// message naming every valid program — the same contract as
+/// createManagerChecked.
+std::unique_ptr<Program> createProgramChecked(const std::string &Name,
+                                              uint64_t M, unsigned LogN,
+                                              double C,
+                                              std::string *Error = nullptr);
+
+/// The valid program names as one comma-separated string, for error
+/// messages and usage text.
+std::string programNameList();
+
 /// All names createProgram accepts.
 std::vector<std::string> allProgramNames();
 

@@ -1,0 +1,96 @@
+//===- exact/Certifier.cpp - Sandwich certification of solved cells -------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exact/Certifier.h"
+
+#include "bounds/BenderskyPetrankBounds.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "bounds/RobsonBounds.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace pcb;
+
+static constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+static constexpr double Eps = 1e-6;
+
+ExactCertificate pcb::certifyCell(const ExactParams &P, ExactResult R) {
+  ExactCertificate Cert;
+  Cert.Params = P;
+  Cert.Result = std::move(R);
+  Cert.LowerWords = double(P.M); // a heap of M words is always forced
+  Cert.RobsonWords = NaN;
+  Cert.Theorem2Words = NaN;
+  Cert.BenderskyWords = NaN;
+  Cert.UpperWords = NaN;
+
+  // The closed-form layer speaks only over power-of-two M >= n >= 2 (and
+  // BoundParams asserts as much); outside that domain the certificate
+  // degenerates to the trivial lower bound.
+  bool FormulaDomain = isPowerOfTwo(P.M) && isPowerOfTwo(P.N) && P.N >= 2;
+  if (FormulaDomain) {
+    // Robson's value is c-independent; BoundParams just wants a valid C.
+    BoundParams Robson{P.M, P.N, 2.0};
+    Cert.RobsonWords = robsonHeapWords(Robson);
+    Cert.UpperWords = Cert.RobsonWords;
+    if (P.C >= 2) {
+      BoundParams BP{P.M, P.N, double(P.C)};
+      Cert.LowerWords = cohenPetrankLowerHeapWords(BP);
+      Cert.BenderskyWords = benderskyPetrankUpperHeapWords(BP);
+      if (double(P.C) > 0.5 * BP.logN())
+        Cert.Theorem2Words = cohenPetrankUpperHeapWords(BP);
+    } else if (P.C == 1) {
+      // Theorem 1/2 need c > 1; the prior-art (c + 1) M still applies.
+      Cert.BenderskyWords = 2.0 * double(P.M);
+    } else {
+      // c = infinity: the non-moving game, where Robson is the claimed
+      // *matching* bound — both sides of the sandwich at once.
+      Cert.LowerWords = Cert.RobsonWords;
+    }
+    for (double Upper : {Cert.Theorem2Words, Cert.BenderskyWords})
+      if (std::isfinite(Upper) && Upper < Cert.UpperWords)
+        Cert.UpperWords = Upper;
+  }
+
+  if (!Cert.Result.Solved)
+    return Cert;
+
+  double Exact = double(Cert.Result.ExactWords);
+  Cert.LowerOk = Exact >= Cert.LowerWords - Eps;
+  // With no applicable closed-form upper bound there is nothing to
+  // certify on that side.
+  Cert.UpperOk = !std::isfinite(Cert.UpperWords) || Exact <= Cert.UpperWords + Eps;
+  Cert.RobsonMatch = P.C != 0 || !std::isfinite(Cert.RobsonWords) ||
+                     std::abs(Exact - Cert.RobsonWords) <= Eps;
+  Cert.Strict = std::isfinite(Cert.Theorem2Words) &&
+                Cert.LowerWords + Eps < Exact &&
+                Exact + Eps < Cert.Theorem2Words;
+  return Cert;
+}
+
+std::string ExactCertificate::describe() const {
+  std::ostringstream OS;
+  OS << "M=" << Params.M << " n=" << Params.N << " c=";
+  if (Params.C == 0)
+    OS << "inf";
+  else
+    OS << Params.C;
+  OS << ": ";
+  if (!Result.Solved) {
+    OS << (Result.Aborted ? "aborted (node limit)" : "unsolved");
+    return OS.str();
+  }
+  OS << LowerWords << " <= " << Result.ExactWords;
+  if (std::isfinite(UpperWords))
+    OS << " <= " << UpperWords;
+  OS << (ok() ? " ok" : " FAIL");
+  if (Strict)
+    OS << " [strict]";
+  return OS.str();
+}

@@ -1,0 +1,69 @@
+//===- exact/Certifier.h - Sandwich certification of solved cells -*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Certifies a solved exact-game cell against the closed-form bounds
+/// layer: the paper's claims form a sandwich
+///
+///   PF-forced (Theorem 1)  <=  exact  <=  best upper bound
+///
+/// where the upper side is the minimum of Theorem 2 (when c > log2(n)/2
+/// and c >= 2), the Bendersky-Petrank (c+1)M, and Robson's non-moving
+/// value (always available to a c-partial manager: it may simply never
+/// move). At c = infinity the game value is exactly Robson's matching
+/// formula, so the certificate additionally demands equality there.
+/// Any solved cell violating its certificate convicts either the bounds
+/// layer or the game model — that is the point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_EXACT_CERTIFIER_H
+#define PCBOUND_EXACT_CERTIFIER_H
+
+#include "exact/MinimaxSolver.h"
+
+#include <string>
+
+namespace pcb {
+
+/// The sandwich verdict for one solved cell. Bound fields are NaN when
+/// the corresponding formula does not apply at the cell's parameters
+/// (Theorem 1/2 need integer c >= 2 and power-of-two M >= n >= 2;
+/// Bendersky-Petrank needs finite c; Robson needs power-of-two M >= n >= 2).
+struct ExactCertificate {
+  ExactParams Params;
+  ExactResult Result;
+
+  double LowerWords = 0;       ///< PF-forced lower bound (>= M by clamping)
+  double RobsonWords = 0;      ///< Robson's matching P2 value
+  double Theorem2Words = 0;    ///< the paper's recursive upper bound
+  double BenderskyWords = 0;   ///< (c + 1) * M
+  double UpperWords = 0;       ///< min over the applicable upper bounds
+
+  bool LowerOk = false;   ///< exact >= LowerWords
+  bool UpperOk = false;   ///< exact <= UpperWords
+  bool RobsonMatch = false; ///< exact == Robson at c = infinity (else true)
+  /// The exact value strictly separates the two paper bounds:
+  /// Theorem 1 < exact < Theorem 2.
+  bool Strict = false;
+
+  bool ok() const {
+    return Result.Solved && LowerOk && UpperOk && RobsonMatch;
+  }
+
+  /// One line: "M=4 n=2 c=4: 4 <= 5 <= 13 ok [strict]".
+  std::string describe() const;
+};
+
+/// Evaluates the sandwich for \p R solved at \p P. Unsolved (or aborted)
+/// cells get a certificate with ok() == false and no bound checks
+/// claimed.
+ExactCertificate certifyCell(const ExactParams &P, ExactResult R);
+
+} // namespace pcb
+
+#endif // PCBOUND_EXACT_CERTIFIER_H

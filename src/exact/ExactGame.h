@@ -1,0 +1,199 @@
+//===- exact/ExactGame.h - The allocation game on a tiny arena --*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State model for the exact small-parameter allocation game. The paper's
+/// quantity HS(A, P) is a two-player game value: the adversary (program)
+/// picks allocations and frees, the manager picks placements and
+/// compaction moves, and the score is the footprint the manager is forced
+/// to touch. For tiny parameters the game is solved exactly by
+/// reformulating it over a fixed *arena* of W cells:
+///
+///   exact(M, n, c) = min { W : the manager can serve every P2(M, n)
+///                              request sequence forever inside W cells }
+///
+/// which equals the minimax heap size because footprint is monotone — the
+/// adversary wins arena W exactly when it can force some placement outside
+/// [0, W), i.e. force HS >= W + 1. Dropping the historical footprint from
+/// the state (only the arena bound remains) is what makes the state space
+/// finite.
+///
+/// A layout is two W-bit boards: Occ (cell is covered by a live object)
+/// and Starts (a live object begins here). Starts ⊆ Occ; object identity
+/// beyond the boundary structure is deliberately erased — which object of
+/// a given extent sits where never matters to either player, so this *is*
+/// the canonicalization. The arena is end-to-end symmetric, so layouts are
+/// further reduced modulo mirror reflection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_EXACT_EXACTGAME_H
+#define PCBOUND_EXACT_EXACTGAME_H
+
+#include "support/MathUtils.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace pcb {
+
+/// Parameters of one exact-game cell. Unlike BoundParams these are tiny
+/// and need not be powers of two (the closed-form bounds require that,
+/// the solver does not); the quota denominator is an *integer* c, with 0
+/// meaning c = infinity (a non-moving manager — note this is the opposite
+/// convention from CompactionLedger, where C <= 0 means *unlimited*
+/// compaction).
+struct ExactParams {
+  uint64_t M = 4; ///< bound on live words
+  uint64_t N = 2; ///< max object size; request sizes are powers of two <= N
+  uint64_t C = 0; ///< integer quota denominator; 0 = infinity (non-moving)
+  /// Saturating cap on the banked compaction budget (see DESIGN.md §12:
+  /// capping only ever weakens the manager, so upper-bound certificates
+  /// stay sound). 0 selects the default, M.
+  uint64_t BudgetCap = 0;
+  /// Largest arena to try before giving up; 0 selects ceil(Robson) + 2.
+  unsigned MaxArena = 0;
+  /// Abort an arena whose reachable state space exceeds this many nodes;
+  /// 0 selects the default (4M).
+  uint64_t NodeLimit = 0;
+
+  uint64_t budgetCap() const {
+    uint64_t Cap = BudgetCap == 0 ? M : BudgetCap;
+    return Cap < 4095 ? Cap : 4095;
+  }
+
+  uint64_t nodeLimit() const {
+    return NodeLimit == 0 ? 4000000 : NodeLimit;
+  }
+
+  /// Robson's matching formula for P2 programs, M * (log2(n)/2 + 1) - n
+  /// + 1, evaluated leniently (any M, any power-of-two n >= 1). This is
+  /// the expected exact value at c = infinity and the default scan limit.
+  double robsonWords() const {
+    return double(M) * (0.5 * double(log2Floor(N)) + 1.0) - double(N) + 1.0;
+  }
+
+  unsigned maxArena() const {
+    uint64_t Hi = MaxArena != 0 ? MaxArena : uint64_t(robsonWords() + 2.0);
+    if (Hi < M)
+      Hi = M;
+    return unsigned(Hi < 30 ? Hi : 30);
+  }
+
+  bool valid() const {
+    return M >= 1 && M <= 24 && N >= 1 && N <= 16 && isPowerOfTwo(N) &&
+           N <= M && budgetCap() <= 4095 && maxArena() <= 30;
+  }
+};
+
+/// A layout over an arena of W <= 30 cells: occupancy plus object-start
+/// boundaries. Starts ⊆ Occ; every maximal run of occupied cells is
+/// partitioned into objects by its start bits.
+struct ArenaLayout {
+  uint32_t Occ = 0;
+  uint32_t Starts = 0;
+
+  friend bool operator==(ArenaLayout A, ArenaLayout B) {
+    return A.Occ == B.Occ && A.Starts == B.Starts;
+  }
+};
+
+inline uint64_t packLayout(ArenaLayout L) {
+  return (uint64_t(L.Starts) << 32) | L.Occ;
+}
+
+inline ArenaLayout unpackLayout(uint64_t Bits) {
+  return {uint32_t(Bits & 0xffffffffu), uint32_t(Bits >> 32)};
+}
+
+inline unsigned layoutLiveWords(ArenaLayout L) {
+  return unsigned(std::popcount(L.Occ));
+}
+
+/// True when [Pos, Pos + Size) lies inside the arena and is free.
+inline bool layoutFits(ArenaLayout L, unsigned W, unsigned Size,
+                       unsigned Pos) {
+  if (Pos + Size > W)
+    return false;
+  uint32_t Range = ((Size >= 32 ? 0u : (1u << Size)) - 1u) << Pos;
+  return (L.Occ & Range) == 0;
+}
+
+inline ArenaLayout layoutPlace(ArenaLayout L, unsigned Size, unsigned Pos) {
+  uint32_t Range = ((1u << Size) - 1u) << Pos;
+  assert((L.Occ & Range) == 0 && "placement target not free");
+  return {L.Occ | Range, L.Starts | (1u << Pos)};
+}
+
+inline ArenaLayout layoutRemove(ArenaLayout L, unsigned Size, unsigned Pos) {
+  uint32_t Range = ((1u << Size) - 1u) << Pos;
+  assert((L.Starts >> Pos) & 1u && "no object starts here");
+  assert((L.Occ & Range) == Range && "object extent not occupied");
+  return {L.Occ & ~Range, L.Starts & ~(1u << Pos)};
+}
+
+/// Size of the object starting at \p Start: the run of occupied cells
+/// from Start up to (exclusive) the next start bit, free cell, or arena
+/// end.
+inline unsigned layoutObjectSize(ArenaLayout L, unsigned W, unsigned Start) {
+  assert((L.Starts >> Start) & 1u && "no object starts here");
+  unsigned Size = 1;
+  for (unsigned J = Start + 1;
+       J < W && ((L.Occ >> J) & 1u) && !((L.Starts >> J) & 1u); ++J)
+    ++Size;
+  return Size;
+}
+
+/// Calls \p Fn(Start, Size) for every object, in address order.
+template <typename FnT>
+void forEachLayoutObject(ArenaLayout L, unsigned W, FnT Fn) {
+  uint32_t S = L.Starts;
+  while (S != 0) {
+    unsigned Start = unsigned(std::countr_zero(S));
+    S &= S - 1;
+    Fn(Start, layoutObjectSize(L, W, Start));
+  }
+}
+
+/// The layout reflected end-to-end: an object at [i, i + s) maps to
+/// [W - i - s, W - i).
+inline ArenaLayout mirrorLayout(ArenaLayout L, unsigned W) {
+  ArenaLayout R;
+  forEachLayoutObject(L, W, [&](unsigned Start, unsigned Size) {
+    unsigned NewStart = W - Start - Size;
+    R.Occ |= ((1u << Size) - 1u) << NewStart;
+    R.Starts |= 1u << NewStart;
+  });
+  return R;
+}
+
+/// The canonical representative of {L, mirror(L)}: the one with the
+/// smaller packed encoding. The game dynamics are mirror-invariant, so
+/// states may be identified up to reflection.
+inline ArenaLayout canonicalLayout(ArenaLayout L, unsigned W) {
+  ArenaLayout Mir = mirrorLayout(L, W);
+  return packLayout(Mir) < packLayout(L) ? Mir : L;
+}
+
+/// One move of the solved game's witness trace, in arena coordinates.
+/// Alloc combines the adversary's request with the manager's placement
+/// reply; Move is a manager compaction step funded by the banked budget;
+/// Free is an adversary release naming the object by its start address.
+/// The final Alloc of a witness is the forced overflow — its placement
+/// ends beyond the arena, demonstrating HS >= arena + 1.
+struct WitnessOp {
+  enum class Kind : uint8_t { Alloc, Free, Move };
+  Kind Op = Kind::Alloc;
+  unsigned Size = 0;
+  unsigned Addr = 0; ///< placement (Alloc) or object start (Free, Move src)
+  unsigned To = 0;   ///< move target (Move only)
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_EXACT_EXACTGAME_H

@@ -1,0 +1,321 @@
+//===- exact/MinimaxSolver.cpp - Exact game-value computation -------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exact/MinimaxSolver.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace pcb;
+
+ArenaSolver::ArenaSolver(const ExactParams &P, unsigned W) : P(P), W(W) {
+  assert(P.valid() && "invalid exact-game parameters");
+  assert(W <= 30 && "arena too wide for the 32-bit boards");
+}
+
+ArenaSolver::NodeKey ArenaSolver::canonicalKey(const RawNode &N) const {
+  assert(N.Bank <= 0xfff && N.Residue <= 0xfff && N.Pending <= 0xff);
+  return {packLayout(canonicalLayout(N.L, W)),
+          N.Bank | (N.Residue << 12) | (N.Pending << 24)};
+}
+
+ArenaSolver::RawNode ArenaSolver::decode(const NodeKey &K) {
+  RawNode N;
+  N.L = unpackLayout(K.Layout);
+  N.Bank = K.Aux & 0xfff;
+  N.Residue = (K.Aux >> 12) & 0xfff;
+  N.Pending = K.Aux >> 24;
+  return N;
+}
+
+void ArenaSolver::accrue(unsigned Size, uint32_t &Bank,
+                         uint32_t &Residue) const {
+  if (P.C == 0) {
+    // c = infinity: the budget is identically zero, so the solved value
+    // is exact for non-moving managers with no cap approximation at all.
+    Bank = 0;
+    Residue = 0;
+    return;
+  }
+  uint64_t Carry = Residue + Size;
+  uint64_t NewBank = Bank + Carry / P.C;
+  uint64_t Cap = P.budgetCap();
+  Bank = uint32_t(NewBank < Cap ? NewBank : Cap);
+  Residue = uint32_t(Carry % P.C);
+}
+
+void ArenaSolver::successors(const RawNode &N, std::vector<Succ> &Out) const {
+  Out.clear();
+  if (N.Pending == 0) {
+    // Adversary to move: free any live object, or request any power-of-two
+    // size that keeps the live volume within M.
+    forEachLayoutObject(N.L, W, [&](unsigned Start, unsigned Size) {
+      Succ S;
+      S.Node = N;
+      S.Node.L = layoutRemove(N.L, Size, Start);
+      S.Op = {WitnessOp::Kind::Free, Size, Start, 0};
+      S.HasOp = true;
+      Out.push_back(S);
+    });
+    unsigned Live = layoutLiveWords(N.L);
+    for (uint64_t Size = 1; Size <= P.N; Size *= 2) {
+      if (Live + Size > P.M)
+        break;
+      Succ S;
+      S.Node = N;
+      S.Node.Pending = uint32_t(Size);
+      S.HasOp = false; // the request is realized by the placement reply
+      Out.push_back(S);
+    }
+    return;
+  }
+
+  // Manager to move: place the pending request (ending the response and
+  // accruing budget for the placed words), or spend the bank on one
+  // compaction move and stay in the response phase. Moves strictly
+  // decrease the bank, so response phases cannot cycle.
+  unsigned Size = N.Pending;
+  for (unsigned Pos = 0; Pos + Size <= W; ++Pos) {
+    if (!layoutFits(N.L, W, Size, Pos))
+      continue;
+    Succ S;
+    S.Node.L = layoutPlace(N.L, Size, Pos);
+    S.Node.Bank = N.Bank;
+    S.Node.Residue = N.Residue;
+    S.Node.Pending = 0;
+    accrue(Size, S.Node.Bank, S.Node.Residue);
+    S.Op = {WitnessOp::Kind::Alloc, Size, Pos, 0};
+    S.HasOp = true;
+    Out.push_back(S);
+  }
+  if (P.C != 0 && N.Bank > 0) {
+    forEachLayoutObject(N.L, W, [&](unsigned Start, unsigned ObjSize) {
+      if (ObjSize > N.Bank)
+        return;
+      ArenaLayout Without = layoutRemove(N.L, ObjSize, Start);
+      for (unsigned Pos = 0; Pos + ObjSize <= W; ++Pos) {
+        // The target must be free in the *current* layout — Heap::move
+        // forbids overlap with the object's own placement.
+        if (!layoutFits(N.L, W, ObjSize, Pos))
+          continue;
+        Succ S;
+        S.Node.L = layoutPlace(Without, ObjSize, Pos);
+        S.Node.Bank = N.Bank - ObjSize;
+        S.Node.Residue = N.Residue;
+        S.Node.Pending = N.Pending;
+        S.Op = {WitnessOp::Kind::Move, ObjSize, Start, Pos};
+        S.HasOp = true;
+        Out.push_back(S);
+      }
+    });
+  }
+}
+
+uint32_t ArenaSolver::internNode(const RawNode &N) {
+  NodeKey K = canonicalKey(N);
+  auto [It, Inserted] = Index.try_emplace(K, uint32_t(Keys.size()));
+  if (Inserted)
+    Keys.push_back(K);
+  return It->second;
+}
+
+bool ArenaSolver::enumerate() {
+  const uint64_t NodeLimit = P.nodeLimit();
+  const uint64_t EdgeLimit = 32 * NodeLimit;
+  internNode(RawNode{});
+  SuccOff.push_back(0);
+  std::vector<Succ> Ss;
+  std::vector<uint32_t> Tmp;
+  for (uint32_t I = 0; I < Keys.size(); ++I) {
+    successors(decode(Keys[I]), Ss);
+    Tmp.clear();
+    for (const Succ &S : Ss)
+      Tmp.push_back(internNode(S.Node));
+    if (Keys.size() > NodeLimit)
+      return false;
+    // Canonicalization can merge successors; dedup keeps the edge lists
+    // (and thus the sweeps) minimal.
+    std::sort(Tmp.begin(), Tmp.end());
+    Tmp.erase(std::unique(Tmp.begin(), Tmp.end()), Tmp.end());
+    Succs.insert(Succs.end(), Tmp.begin(), Tmp.end());
+    SuccOff.push_back(Succs.size());
+    if (Succs.size() > EdgeLimit)
+      return false;
+  }
+  return true;
+}
+
+void ArenaSolver::sweep() {
+  const size_t NumNodes = Keys.size();
+  Win.assign(NumNodes, 0);
+  Level.assign(NumNodes, 0);
+  std::vector<uint32_t> Undecided(NumNodes), NextUndecided, NewlyWon;
+  for (uint32_t I = 0; I < NumNodes; ++I)
+    Undecided[I] = I;
+
+  // Jacobi least-fixpoint iteration: each sweep evaluates every undecided
+  // node against the *previous* sweep's winning set, so the sweep number
+  // at which a node wins is a sound progress measure for the witness
+  // walk. Initialization all-false is exactly the value of infinite plays
+  // (never overflowing means the manager survives).
+  unsigned SweepNo = 0;
+  while (!Win[0]) {
+    ++SweepNo;
+    NewlyWon.clear();
+    NextUndecided.clear();
+    for (uint32_t I : Undecided) {
+      bool IsMgr = (Keys[I].Aux >> 24) != 0;
+      bool V;
+      if (IsMgr) {
+        V = true; // vacuously won by the adversary when the manager is stuck
+        for (uint64_t E = SuccOff[I]; E < SuccOff[I + 1]; ++E)
+          if (!Win[Succs[E]]) {
+            V = false;
+            break;
+          }
+      } else {
+        V = false;
+        for (uint64_t E = SuccOff[I]; E < SuccOff[I + 1]; ++E)
+          if (Win[Succs[E]]) {
+            V = true;
+            break;
+          }
+      }
+      if (V)
+        NewlyWon.push_back(I);
+      else
+        NextUndecided.push_back(I);
+    }
+    if (NewlyWon.empty())
+      break; // fixpoint: the adversary's winning region is complete
+    for (uint32_t I : NewlyWon) {
+      Win[I] = 1;
+      Level[I] = SweepNo;
+    }
+    Undecided.swap(NextUndecided);
+  }
+  Out.Sweeps = SweepNo;
+  Out.AdversaryWins = Win[0] != 0;
+}
+
+ArenaOutcome ArenaSolver::solve() {
+  assert(Keys.empty() && "solve() may run once per ArenaSolver");
+  Out = ArenaOutcome{};
+  Out.Arena = W;
+  bool Complete = enumerate();
+  Out.Nodes = Keys.size();
+  Out.Edges = Succs.size();
+  if (!Complete) {
+    Out.Aborted = true;
+    return Out;
+  }
+  sweep();
+  return Out;
+}
+
+unsigned ArenaSolver::overflowPlacement(ArenaLayout L, unsigned Size) const {
+  for (unsigned Pos = 0; Pos < W; ++Pos) {
+    bool Free = true;
+    for (unsigned J = Pos; J < Pos + Size && J < W; ++J)
+      if ((L.Occ >> J) & 1u) {
+        Free = false;
+        break;
+      }
+    if (Free)
+      return Pos;
+  }
+  return W;
+}
+
+std::vector<WitnessOp> ArenaSolver::extractWitness() const {
+  assert(Out.AdversaryWins && "no witness: the manager survives this arena");
+  std::vector<WitnessOp> Trace;
+  RawNode Cur; // the root: empty arena, adversary to move
+  uint32_t CurLevel = Level[0];
+  std::vector<Succ> Ss;
+  // Each step strictly decreases the node's sweep level, so the walk is
+  // bounded by the root's level.
+  for (uint32_t Guard = CurLevel + 2; Guard > 0; --Guard) {
+    successors(Cur, Ss);
+    if (Cur.Pending != 0 && Ss.empty()) {
+      // Stuck manager: the request cannot be placed and no move is
+      // fundable. The forced placement spills past the arena.
+      Trace.push_back({WitnessOp::Kind::Alloc, Cur.Pending,
+                       overflowPlacement(Cur.L, Cur.Pending), 0});
+      return Trace;
+    }
+    const Succ *Best = nullptr;
+    uint32_t BestLevel = 0;
+    for (const Succ &S : Ss) {
+      uint32_t I = Index.at(canonicalKey(S.Node));
+      if (Cur.Pending != 0) {
+        // Optimal resistance: every successor is winning; the manager
+        // retreats to the one that took the most sweeps to win.
+        assert(Win[I] && "manager node won with a non-winning successor");
+        if (!Best || Level[I] > BestLevel) {
+          Best = &S;
+          BestLevel = Level[I];
+        }
+      } else {
+        // Adversary progress: descend to the lowest-level winning
+        // successor.
+        if (!Win[I])
+          continue;
+        if (!Best || Level[I] < BestLevel) {
+          Best = &S;
+          BestLevel = Level[I];
+        }
+      }
+    }
+    assert(Best && "winning node without a usable successor");
+    assert(BestLevel < CurLevel && "witness walk failed to descend");
+    if (Best->HasOp)
+      Trace.push_back(Best->Op);
+    Cur = Best->Node;
+    CurLevel = BestLevel;
+  }
+  assert(false && "witness walk exceeded its level bound");
+  return Trace;
+}
+
+ExactResult pcb::solveExact(const ExactParams &P) {
+  assert(P.valid() && "invalid exact-game parameters");
+  ExactResult R;
+  unsigned WLo = unsigned(P.M);
+  unsigned WHi = P.maxArena();
+  // Monotone scan: the adversary's win region only shrinks as W grows,
+  // so the first surviving arena is the exact heap size and everything
+  // below it is the alpha-pruned region. Arenas below M need no solver:
+  // the adversary fills them with M unit objects.
+  std::unique_ptr<ArenaSolver> LastWinning;
+  for (unsigned W = WLo; W <= WHi; ++W) {
+    auto S = std::make_unique<ArenaSolver>(P, W);
+    ArenaOutcome O = S->solve();
+    R.Arenas.push_back(O);
+    if (O.Aborted) {
+      R.Aborted = true;
+      return R;
+    }
+    if (!O.AdversaryWins) {
+      R.Solved = true;
+      R.ExactWords = W;
+      if (!LastWinning && W > 0) {
+        // The scan's first arena already survives; solve W - 1 (a strict
+        // adversary win — see the monotonicity argument) for the witness.
+        LastWinning = std::make_unique<ArenaSolver>(P, W - 1);
+        ArenaOutcome O2 = LastWinning->solve();
+        if (O2.Aborted || !O2.AdversaryWins)
+          LastWinning.reset();
+      }
+      if (LastWinning)
+        R.Witness = LastWinning->extractWitness();
+      return R;
+    }
+    LastWinning = std::move(S);
+  }
+  return R; // exhausted maxArena() without a manager win
+}

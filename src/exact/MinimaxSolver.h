@@ -1,0 +1,166 @@
+//===- exact/MinimaxSolver.h - Exact game-value computation -----*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solves the arena game of ExactGame.h exactly. One ArenaSolver decides a
+/// single arena width W: it enumerates every reachable canonical state
+/// into a transposition table, then computes the adversary's winning
+/// region as the least fixpoint of
+///
+///   WIN(adversary node) = some successor is WIN
+///   WIN(manager node)   = every successor is WIN   (vacuously true for a
+///                         stuck manager: no placement fits and no move is
+///                         fundable — the forced overflow)
+///
+/// by Jacobi value-iteration sweeps. Plays may cycle through adversary
+/// nodes (allocate/free loops), so a naive memoized minimax DFS would be
+/// unsound; the fixpoint iteration handles cycles correctly (an infinite
+/// play never overflows, i.e. the manager wins it, which is exactly the
+/// all-false initialization). Manager response phases cannot cycle: every
+/// compaction move strictly decreases the banked budget.
+///
+/// solveExact() then scans W upward from M. Game value is monotone in W
+/// (an arena-W adversary win embeds into every smaller arena), so the
+/// first W the manager survives is the exact minimax heap size, and the
+/// scan doubles as alpha-beta pruning on the heap-size score: arenas
+/// below the answer are exactly the pruned "score <= alpha" subtrees, and
+/// no arena above the answer is ever explored.
+///
+/// The sweep level at which a node entered the winning region is a
+/// progress measure, so an optimal adversary strategy (descend levels;
+/// the manager resists by ascending to the max-level successor) falls out
+/// of the solved table as a finite replayable witness trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_EXACT_MINIMAXSOLVER_H
+#define PCBOUND_EXACT_MINIMAXSOLVER_H
+
+#include "exact/ExactGame.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pcb {
+
+/// What one arena's solve established.
+struct ArenaOutcome {
+  unsigned Arena = 0;
+  bool AdversaryWins = false;
+  /// True when the node or edge limit was hit; AdversaryWins is then
+  /// meaningless and the whole cell is reported unsolved.
+  bool Aborted = false;
+  uint64_t Nodes = 0;
+  uint64_t Edges = 0;
+  unsigned Sweeps = 0;
+};
+
+/// The solved cell: exact minimax heap size plus per-arena statistics and
+/// the adversary's forcing witness on the largest losing arena.
+struct ExactResult {
+  bool Solved = false;
+  bool Aborted = false;
+  uint64_t ExactWords = 0;
+  std::vector<ArenaOutcome> Arenas;
+  /// Forcing trace on arena ExactWords - 1: replaying it against the
+  /// optimally-resisting manager ends in an overflow placement, proving
+  /// HS >= ExactWords for *every* manager of the modelled class.
+  std::vector<WitnessOp> Witness;
+};
+
+/// Decides one arena width. Construct, solve(), then (if the adversary
+/// wins) extractWitness().
+class ArenaSolver {
+public:
+  ArenaSolver(const ExactParams &P, unsigned W);
+
+  ArenaOutcome solve();
+
+  /// The adversary's optimal forcing trace, ending with the overflow
+  /// allocation. Only valid after solve() returned AdversaryWins.
+  std::vector<WitnessOp> extractWitness() const;
+
+private:
+  /// A raw (possibly non-canonical) game state. Pending == 0 is an
+  /// adversary node; Pending == s is a manager node that must place a
+  /// pending request of s words. Bank/Residue track the integer
+  /// compaction budget: Bank words are spendable now, Residue < C words
+  /// of allocation have not yet funded a whole word.
+  struct RawNode {
+    ArenaLayout L;
+    uint32_t Bank = 0;
+    uint32_t Residue = 0;
+    uint32_t Pending = 0;
+  };
+
+  /// Canonical transposition-table key: mirror-reduced layout plus the
+  /// packed budget ledger and phase.
+  struct NodeKey {
+    uint64_t Layout = 0;
+    uint32_t Aux = 0;
+    friend bool operator==(const NodeKey &A, const NodeKey &B) {
+      return A.Layout == B.Layout && A.Aux == B.Aux;
+    }
+  };
+
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &K) const {
+      uint64_t X = K.Layout + 0x9e3779b97f4a7c15ull * (uint64_t(K.Aux) + 1);
+      X ^= X >> 33;
+      X *= 0xff51afd7ed558ccdull;
+      X ^= X >> 29;
+      return size_t(X);
+    }
+  };
+
+  struct Succ {
+    RawNode Node;
+    WitnessOp Op;
+    bool HasOp = false;
+  };
+
+  NodeKey canonicalKey(const RawNode &N) const;
+  static RawNode decode(const NodeKey &K);
+  /// Budget accrual after placing \p Size words (no-op at c = infinity).
+  void accrue(unsigned Size, uint32_t &Bank, uint32_t &Residue) const;
+  /// All legal successors of \p N with their witness-op labels, in a
+  /// deterministic order (frees by address, then requests by size;
+  /// placements by address, then moves by source and target address).
+  void successors(const RawNode &N, std::vector<Succ> &Out) const;
+  /// Index of \p N's canonical key, inserting a fresh node if new.
+  uint32_t internNode(const RawNode &N);
+  bool enumerate();
+  void sweep();
+  /// Lowest placement of \p Size that avoids all live cells when every
+  /// address >= W is free: the overflow placement of a stuck manager.
+  unsigned overflowPlacement(ArenaLayout L, unsigned Size) const;
+
+  ExactParams P;
+  unsigned W;
+  ArenaOutcome Out;
+
+  std::vector<NodeKey> Keys;
+  std::unordered_map<NodeKey, uint32_t, NodeKeyHash> Index;
+  /// Forward successor lists in CSR form, deduplicated per node.
+  std::vector<uint64_t> SuccOff;
+  std::vector<uint32_t> Succs;
+  std::vector<uint8_t> Win;
+  /// Sweep number at which a node entered the winning region (the
+  /// witness progress measure); 0 = not winning.
+  std::vector<uint32_t> Level;
+};
+
+/// Computes the exact minimax heap size for \p P by the monotone arena
+/// scan. Unsolved (Solved == false) when an arena aborts on the node
+/// limit or the scan exhausts maxArena() without a manager win.
+ExactResult solveExact(const ExactParams &P);
+
+} // namespace pcb
+
+#endif // PCBOUND_EXACT_MINIMAXSOLVER_H

@@ -1,0 +1,53 @@
+//===- exact/WitnessTrace.cpp - Witness traces as event logs --------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exact/WitnessTrace.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+using namespace pcb;
+
+EventLog pcb::witnessToEventLog(const std::vector<WitnessOp> &Witness) {
+  EventLog Log;
+  std::map<unsigned, std::pair<ObjectId, unsigned>> ByAddr;
+  ObjectId NextId = 0;
+  for (const WitnessOp &Op : Witness) {
+    switch (Op.Op) {
+    case WitnessOp::Kind::Alloc: {
+      ObjectId Id = NextId++;
+      Log.record(HeapEvent::alloc(Id, Op.Addr, Op.Size));
+      ByAddr[Op.Addr] = {Id, Op.Size};
+      Log.record(HeapEvent::stepEnd());
+      break;
+    }
+    case WitnessOp::Kind::Free: {
+      auto It = ByAddr.find(Op.Addr);
+      assert(It != ByAddr.end() && It->second.second == Op.Size &&
+             "witness frees an object that is not live here");
+      Log.record(HeapEvent::release(It->second.first, Op.Addr, Op.Size));
+      ByAddr.erase(It);
+      Log.record(HeapEvent::stepEnd());
+      break;
+    }
+    case WitnessOp::Kind::Move: {
+      auto It = ByAddr.find(Op.Addr);
+      assert(It != ByAddr.end() && It->second.second == Op.Size &&
+             "witness moves an object that is not live here");
+      ObjectId Id = It->second.first;
+      Log.record(HeapEvent::move(Id, Op.Addr, Op.To, Op.Size));
+      ByAddr.erase(It);
+      ByAddr[Op.To] = {Id, Op.Size};
+      // No step boundary: the move belongs to the following allocation's
+      // response.
+      break;
+    }
+    }
+  }
+  return Log;
+}

@@ -17,6 +17,7 @@
 #include <cassert>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 
 using namespace pcb;
 
@@ -63,8 +64,10 @@ DifferentialHarness::runPolicy(const std::string &Policy,
                                const std::vector<TraceOp> &Trace,
                                uint64_t M) const {
   Heap H;
-  auto MM = createManager(Policy, H, Opts.C, /*LiveBound=*/M);
-  assert(MM && "unknown policy reached the harness");
+  std::string Error;
+  auto MM = createManagerChecked(Policy, H, Opts.C, /*LiveBound=*/M, &Error);
+  if (!MM)
+    throw std::invalid_argument("differential harness: " + Error);
 
   PolicyRunResult R;
   R.Policy = Policy;

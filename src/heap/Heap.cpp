@@ -137,6 +137,31 @@ std::vector<ObjectId> Heap::liveObjects() const {
   return Ids;
 }
 
+uint64_t Heap::occupancyMask(unsigned Count) const {
+  assert(Count <= 64 && "mask covers at most 64 words");
+  uint64_t Occ = 0;
+  for (const auto &[Address, Id] : LiveByAddr) {
+    if (Address >= Count)
+      break;
+    uint64_t End = std::min<uint64_t>(Objects[Id].end(), Count);
+    for (uint64_t A = Address; A < End; ++A)
+      Occ |= uint64_t(1) << A;
+  }
+  return Occ;
+}
+
+uint64_t Heap::objectStartMask(unsigned Count) const {
+  assert(Count <= 64 && "mask covers at most 64 words");
+  uint64_t Starts = 0;
+  for (const auto &[Address, Id] : LiveByAddr) {
+    (void)Id;
+    if (Address >= Count)
+      break;
+    Starts |= uint64_t(1) << Address;
+  }
+  return Starts;
+}
+
 std::vector<ObjectId> Heap::liveObjectsIn(Addr Start, uint64_t Size) const {
   Addr End = Start + Size;
   std::vector<ObjectId> Ids;

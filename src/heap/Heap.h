@@ -125,6 +125,18 @@ public:
   /// Ids of all live objects, in address order. O(live objects).
   std::vector<ObjectId> liveObjects() const;
 
+  /// Occupancy bitboard of the first \p Count (<= 64) words: bit i is set
+  /// iff address i is covered by a live object. Canonicalization hook for
+  /// the exact game solver (src/exact/), whose states are exactly such
+  /// boards — witness replays cross-check the real heap against the
+  /// solver's layout after every event. O(live objects).
+  uint64_t occupancyMask(unsigned Count) const;
+
+  /// Companion bitboard: bit i is set iff a live object starts at
+  /// address i. Together with occupancyMask this determines the heap
+  /// prefix's layout up to object identity. O(live objects).
+  uint64_t objectStartMask(unsigned Count) const;
+
   /// Ids of live objects intersecting [Start, Start + Size), in address
   /// order. O(log live + matches).
   std::vector<ObjectId> liveObjectsIn(Addr Start, uint64_t Size) const;

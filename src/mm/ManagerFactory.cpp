@@ -52,6 +52,33 @@ std::unique_ptr<MemoryManager> pcb::createManager(const std::string &Policy,
   return nullptr;
 }
 
+std::unique_ptr<MemoryManager>
+pcb::createManagerChecked(const std::string &Policy, Heap &H, double C,
+                          uint64_t LiveBound, std::string *Error) {
+  std::unique_ptr<MemoryManager> MM = createManager(Policy, H, C, LiveBound);
+  if (MM)
+    return MM;
+  if (Error) {
+    if (Policy == "bump-compactor")
+      *Error = "policy 'bump-compactor' requires a live bound (the "
+               "program's M) to size its compaction period";
+    else
+      *Error = "unknown policy '" + Policy +
+               "'; valid policies: " + managerPolicyList();
+  }
+  return nullptr;
+}
+
+std::string pcb::managerPolicyList() {
+  std::string List;
+  for (const std::string &Name : allManagerPolicies()) {
+    if (!List.empty())
+      List += ", ";
+    List += Name;
+  }
+  return List;
+}
+
 std::vector<std::string> pcb::allManagerPolicies() {
   return {"first-fit",      "best-fit",       "next-fit",
           "worst-fit",      "aligned-fit",    "buddy",

@@ -33,6 +33,19 @@ std::unique_ptr<MemoryManager> createManager(const std::string &Policy,
                                              Heap &H, double C,
                                              uint64_t LiveBound = 0);
 
+/// createManager with a diagnosable failure: on success returns the
+/// manager; on failure returns nullptr and, when \p Error is non-null,
+/// sets *Error to a one-line message naming every valid policy (or, for
+/// "bump-compactor" without a LiveBound, what is missing) — so no caller
+/// has to fall back to a silent default or an uninformative error.
+std::unique_ptr<MemoryManager>
+createManagerChecked(const std::string &Policy, Heap &H, double C,
+                     uint64_t LiveBound = 0, std::string *Error = nullptr);
+
+/// The valid policy names as one comma-separated string, for error
+/// messages and usage text.
+std::string managerPolicyList();
+
 /// All policy names createManager accepts.
 std::vector<std::string> allManagerPolicies();
 

@@ -370,6 +370,26 @@ TEST(ProgramFactory, CreatesEveryProgram) {
             allProgramNames().size());
 }
 
+TEST(ProgramFactory, UnknownProgramFailsWithTheFullProgramList) {
+  // Same contract as createManagerChecked: an unknown name fails with a
+  // message naming every valid program, never a silent default.
+  std::string Error;
+  EXPECT_EQ(createProgramChecked("no-such-program", pow2(12), 6, 20.0,
+                                 &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown program 'no-such-program'"),
+            std::string::npos)
+      << Error;
+  for (const std::string &Name : allProgramNames())
+    EXPECT_NE(Error.find(Name), std::string::npos)
+        << "error message omits valid program '" << Name << "': " << Error;
+  // Success leaves the error untouched.
+  Error.clear();
+  EXPECT_NE(createProgramChecked("robson", pow2(12), 6, 20.0, &Error),
+            nullptr);
+  EXPECT_TRUE(Error.empty()) << Error;
+}
+
 TEST(ProgramFactory, EveryProgramRunsAgainstFirstFit) {
   const uint64_t M = pow2(11);
   for (const std::string &Name : allProgramNames()) {

@@ -1,0 +1,154 @@
+//===- tests/bounds_property_test.cpp - Property tests for src/bounds -----===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+// Where bounds_test.cpp pins the formulas to the paper's stated numbers,
+// this suite pins their *shape*: the monotonicities the paper asserts in
+// prose, the endpoint identities between the bound families, and the
+// lower <= upper sandwich over a seeded random parameter sweep. Every
+// property here was validated numerically before being pinned; notably,
+// Theorem 2's upper bound is NOT monotone in c near its applicability
+// threshold (small dips around c ~ log2(n)/2 + 2), and Theorem 1's lower
+// bound can exceed Robson's non-moving value at n = 2 — so neither of
+// those is asserted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BenderskyPetrankBounds.h"
+#include "bounds/CohenPetrankBounds.h"
+#include "bounds/RobsonBounds.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pcb;
+
+namespace {
+
+constexpr double Eps = 1e-9;
+
+// --- Monotonicity where the paper says so -------------------------------
+
+TEST(BoundsProperty, Theorem1LowerMonotoneInQuota) {
+  // Section 4: the less compaction the manager may do (larger c), the
+  // more waste the adversary forces. h is nondecreasing in c.
+  for (auto [LogM, LogN] : std::vector<std::pair<unsigned, unsigned>>{
+           {20, 10}, {28, 10}, {28, 20}}) {
+    double Prev = 0.0;
+    for (double C = 2.0; C <= 200.0; C += 1.0) {
+      BoundParams P{pow2(LogM), pow2(LogN), C};
+      double H = cohenPetrankLowerWasteFactor(P);
+      EXPECT_GE(H, Prev - Eps)
+          << "logm=" << LogM << " logn=" << LogN << " c=" << C;
+      Prev = H;
+    }
+  }
+}
+
+TEST(BoundsProperty, Theorem1LowerMonotoneInLiveBound) {
+  // Growing M (with n, c fixed) only helps the adversary: the 2n/M slack
+  // term shrinks, so the forced waste factor is nondecreasing in M.
+  for (double C : {10.0, 50.0}) {
+    double Prev = 0.0;
+    for (unsigned LogM = 11; LogM <= 30; ++LogM) {
+      double H = cohenPetrankLowerWasteFactor({pow2(LogM), pow2(10), C});
+      EXPECT_GE(H, Prev - Eps) << "c=" << C << " logm=" << LogM;
+      Prev = H;
+    }
+  }
+}
+
+TEST(BoundsProperty, RobsonMonotoneInBothParameters) {
+  // Robson's waste factor log2(n)/2 + 1 - (n - 1)/M grows with M at
+  // fixed n and with n at fixed M.
+  double Prev = 0.0;
+  for (unsigned LogM = 12; LogM <= 30; ++LogM) {
+    double W = robsonWasteFactor({pow2(LogM), pow2(10), 2.0});
+    EXPECT_GE(W, Prev - Eps) << "logm=" << LogM;
+    Prev = W;
+  }
+  Prev = 0.0;
+  for (unsigned LogN = 1; LogN <= 24; ++LogN) {
+    double W = robsonWasteFactor({pow2(28), pow2(LogN), 2.0});
+    EXPECT_GE(W, Prev - Eps) << "logn=" << LogN;
+    Prev = W;
+  }
+}
+
+// --- Endpoint agreement -------------------------------------------------
+
+TEST(BoundsProperty, BenderskyUpperIsExactlyQuotaPlusOne) {
+  // The prior-art upper bound is (c + 1) M on the nose, at every c.
+  for (double C : {2.0, 3.5, 10.0, 50.0, 100.0}) {
+    BoundParams P{pow2(28), pow2(20), C};
+    EXPECT_DOUBLE_EQ(benderskyPetrankUpperWasteFactor(P), C + 1.0);
+    EXPECT_DOUBLE_EQ(benderskyPetrankUpperHeapWords(P),
+                     (C + 1.0) * double(P.M));
+  }
+}
+
+TEST(BoundsProperty, NewUpperCollapsesToPriorBelowThreshold) {
+  // Theorem 2 needs c > log2(n)/2; at or below the threshold the "new
+  // best" combined upper bound must agree with the prior art exactly,
+  // and above it the new bound can only improve (it is a min).
+  for (unsigned LogN : {10u, 20u}) {
+    BoundParams At{pow2(28), pow2(LogN), 0.5 * double(LogN)};
+    EXPECT_DOUBLE_EQ(newBestUpperWasteFactor(At),
+                     priorBestUpperWasteFactor(At));
+    for (double C : {2.0, 10.0, 50.0, 150.0}) {
+      BoundParams P{pow2(28), pow2(LogN), C};
+      EXPECT_LE(newBestUpperWasteFactor(P),
+                priorBestUpperWasteFactor(P) + Eps)
+          << "logn=" << LogN << " c=" << C;
+    }
+  }
+}
+
+TEST(BoundsProperty, SigmaAdmissibilityEndpoints) {
+  // The density exponent sigma needs 2^sigma <= 3c/4: no admissible
+  // sigma below c = 8/3, and the count grows with c like
+  // floor(log2(3c/4)). Probed away from the exact 8/3 boundary, which
+  // sits on a rounding knife-edge in binary floating point.
+  EXPECT_EQ(cohenPetrankMaxSigma(2.0), 0u);
+  EXPECT_EQ(cohenPetrankMaxSigma(3.0), 1u);
+  EXPECT_EQ(cohenPetrankMaxSigma(6.0), 2u);
+  EXPECT_EQ(cohenPetrankMaxSigma(100.0), 6u);
+}
+
+// --- The sandwich over a random parameter sweep -------------------------
+
+TEST(BoundsProperty, RandomSweepSandwich) {
+  // 500 seeded random cells with n >= 4 (Theorem 1 vs Robson genuinely
+  // needs n > 2; at n = 2 the lower bound can poke above Robson's value,
+  // which only means the closed forms' domains differ there). At every
+  // cell: 1 <= Theorem-1 lower <= every upper, lower <= Robson, and the
+  // POPL'11 lower below the combined upper too.
+  std::mt19937_64 Rng(12345);
+  for (int I = 0; I != 500; ++I) {
+    unsigned LogN = 2 + unsigned(Rng() % 21);                // n in [4, 2^22]
+    unsigned LogM = LogN + 1 + unsigned(Rng() % (30 - LogN)); // M > n
+    double C = 2.0 + double(Rng() % 2000) / 10.0;            // c in [2, 202)
+    BoundParams P{pow2(LogM), pow2(LogN), C};
+    ASSERT_TRUE(P.valid());
+
+    double Lower = cohenPetrankLowerWasteFactor(P);
+    double PriorLower = benderskyPetrankLowerWasteFactor(P);
+    double Upper = newBestUpperWasteFactor(P);
+    double Robson = robsonWasteFactor(P);
+
+    EXPECT_GE(Lower, 1.0 - Eps) << "cell " << I;
+    EXPECT_LE(Lower, Upper + Eps)
+        << "cell " << I << ": logm=" << LogM << " logn=" << LogN
+        << " c=" << C;
+    EXPECT_LE(Lower, Robson + Eps)
+        << "cell " << I << ": logm=" << LogM << " logn=" << LogN
+        << " c=" << C;
+    EXPECT_LE(PriorLower, Upper + Eps) << "cell " << I;
+    EXPECT_LE(Upper, C + 1.0 + Eps)
+        << "cell " << I << ": combined upper must beat (c+1)M";
+  }
+}
+
+} // namespace

@@ -607,4 +607,54 @@ TEST(ManagerFactory, KnowsAllPolicies) {
   EXPECT_EQ(createManager("bump-compactor", H, 10.0), nullptr);
 }
 
+TEST(ManagerFactory, UnknownPolicyFailsWithTheFullPolicyList) {
+  // Regression test: an unknown policy must fail loudly, naming every
+  // valid policy — not fall back to a default manager or an opaque null.
+  Heap H;
+  std::string Error;
+  EXPECT_EQ(createManagerChecked("no-such-policy", H, 10.0, 0, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown policy 'no-such-policy'"),
+            std::string::npos)
+      << Error;
+  for (const std::string &Policy : allManagerPolicies())
+    EXPECT_NE(Error.find(Policy), std::string::npos)
+        << "error message omits valid policy '" << Policy << "': " << Error;
+  EXPECT_EQ(Error.find("requires a live bound"), std::string::npos)
+      << "unknown-name failure must not reuse the bump-compactor message";
+}
+
+TEST(ManagerFactory, BumpCompactorWithoutLiveBoundGetsItsOwnDiagnosis) {
+  // A *known* policy failing for a missing parameter must not be
+  // reported as unknown.
+  Heap H;
+  std::string Error;
+  EXPECT_EQ(createManagerChecked("bump-compactor", H, 10.0, 0, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("bump-compactor"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("requires a live bound"), std::string::npos)
+      << Error;
+  EXPECT_EQ(Error.find("unknown policy"), std::string::npos) << Error;
+  // With the bound supplied the same call succeeds and leaves no stale
+  // error behind.
+  Error.clear();
+  EXPECT_NE(createManagerChecked("bump-compactor", H, 10.0, 1024, &Error),
+            nullptr);
+  EXPECT_TRUE(Error.empty()) << Error;
+}
+
+TEST(ManagerFactory, CheckedSuccessMatchesUnchecked) {
+  for (const std::string &Policy : allManagerPolicies()) {
+    Heap H;
+    std::string Error;
+    auto MM = createManagerChecked(Policy, H, 10.0, 1024, &Error);
+    ASSERT_NE(MM, nullptr) << Policy << ": " << Error;
+    EXPECT_TRUE(Error.empty()) << Policy << ": " << Error;
+  }
+  // The list used in error messages covers exactly the factory's names.
+  std::string List = managerPolicyList();
+  for (const std::string &Policy : allManagerPolicies())
+    EXPECT_NE(List.find(Policy), std::string::npos) << List;
+}
+
 } // namespace

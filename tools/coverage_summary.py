@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Aggregate line coverage from a --coverage (gcov) build tree.
+
+Usage: coverage_summary.py BUILD_DIR [--source-prefix src/]
+
+Walks BUILD_DIR for .gcda note files, runs `gcov --json-format` on each,
+and aggregates executable/executed line counts per source file, keeping
+only files whose repo-relative path starts with the given prefix (the
+library code under src/ by default — tests and benches measuring
+themselves is not coverage). Prints a per-file table plus the total,
+mirroring `lcov --list` closely enough for CI log scraping, and writes
+nothing to the source tree.
+
+This exists because the minimal container has gcov but not lcov/gcovr;
+the CI coverage job uses lcov for its log summary, while this script
+gives the same headline number anywhere gcov runs.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def collect_gcda(build_dir):
+    # Absolute paths: gcov runs from a scratch directory (it drops its
+    # .gcov.json.gz output in the cwd) and must still find these.
+    for root, _dirs, files in os.walk(os.path.abspath(build_dir)):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir")
+    parser.add_argument("--source-prefix", default="src/",
+                        help="keep only sources under this repo-relative "
+                             "prefix (default: src/)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    gcda = sorted(collect_gcda(args.build_dir))
+    if not gcda:
+        print(f"error: no .gcda files under {args.build_dir}; build with "
+              "the 'coverage' preset and run ctest first", file=sys.stderr)
+        return 1
+
+    # line number -> hit?  per canonical source path.  One gcov run per
+    # .gcda: gcov names its JSON after the source basename, so batching
+    # translation units that share a basename would silently drop one.
+    lines = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        for data_file in gcda:
+            subprocess.run(["gcov", "--json-format", data_file],
+                           cwd=scratch, check=False,
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+            for name in os.listdir(scratch):
+                if not name.endswith(".gcov.json.gz"):
+                    continue
+                path = os.path.join(scratch, name)
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                os.unlink(path)
+                for unit in data.get("files", []):
+                    source = os.path.realpath(
+                        os.path.join(data.get("current_working_directory",
+                                              "."), unit["file"]))
+                    rel = os.path.relpath(source, repo_root)
+                    if not rel.startswith(args.source_prefix):
+                        continue
+                    per_file = lines.setdefault(rel, {})
+                    for line in unit.get("lines", []):
+                        number = line["line_number"]
+                        per_file[number] = (per_file.get(number, False)
+                                            or line["count"] > 0)
+
+    if not lines:
+        print("error: no instrumented sources matched prefix "
+              f"'{args.source_prefix}'", file=sys.stderr)
+        return 1
+
+    total_lines = total_hit = 0
+    width = max(len(rel) for rel in lines)
+    print(f"{'file':<{width}}  coverage")
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        if not per_file:  # headers with no executable lines
+            continue
+        hit = sum(1 for covered in per_file.values() if covered)
+        total_lines += len(per_file)
+        total_hit += hit
+        print(f"{rel:<{width}}  {100.0 * hit / len(per_file):5.1f}% "
+              f"({hit}/{len(per_file)})")
+    print(f"{'TOTAL':<{width}}  {100.0 * total_hit / total_lines:5.1f}% "
+          f"({total_hit}/{total_lines} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

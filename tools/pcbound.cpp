@@ -28,6 +28,13 @@
 //                                               re-execute a fuzz reproducer
 //                                               (or any saved trace) with
 //                                               the invariant oracle on
+//   pcbound exact    [Ms= ns= cs= witness-dir= --threads=N]
+//                                               solve the allocation game
+//                                               exactly on tiny parameters
+//                                               and certify the closed-form
+//                                               bounds layer against ground
+//                                               truth (exit 1 on any
+//                                               certificate failure)
 //   pcbound policies                            list manager policies
 //
 //===----------------------------------------------------------------------===//
@@ -42,6 +49,9 @@
 #include "driver/Auditors.h"
 #include "driver/Execution.h"
 #include "driver/TraceIO.h"
+#include "exact/Certifier.h"
+#include "exact/MinimaxSolver.h"
+#include "exact/WitnessTrace.h"
 #include "fuzz/DifferentialHarness.h"
 #include "fuzz/WorkloadFuzzer.h"
 #include "heap/HeapImage.h"
@@ -56,8 +66,11 @@
 #include "support/OptionParser.h"
 #include "support/Table.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
+#include <map>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -85,6 +98,9 @@ int usage() {
       << "             logm=12 maxlog=8 deep=64 index-oracle=1 repro-dir=.\n"
       << "             --threads=N timeline=PREFIX]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
+      << "  exact     [Ms=2,4,8 ns=2,4 cs=1,2,4,inf budget-cap=0\n"
+      << "             node-limit=0 max-arena=0 witness-dir=DIR\n"
+      << "             --threads=N csv=0 json=0 out=]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
       << "          stack-lifo, queue-fifo, sawtooth,\n"
@@ -164,9 +180,10 @@ std::unique_ptr<Program> buildProgram(const OptionParser &Opts,
     }
     return std::make_unique<SpecProgram>(M, Spec);
   }
-  auto Prog = createProgram(ProgName, M, LogN, C);
+  std::string Error;
+  auto Prog = createProgramChecked(ProgName, M, LogN, C, &Error);
   if (!Prog)
-    std::cerr << "error: unknown program '" << ProgName << "'\n";
+    std::cerr << "error: " << Error << "\n";
   return Prog;
 }
 
@@ -188,9 +205,10 @@ int cmdSimulate(const OptionParser &Opts) {
   uint64_t M = pow2(LogM);
 
   Heap H;
-  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  std::string FactoryError;
+  auto MM = createManagerChecked(Policy, H, C, /*LiveBound=*/M, &FactoryError);
   if (!MM) {
-    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    std::cerr << "error: " << FactoryError << "\n";
     return 1;
   }
   std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
@@ -273,9 +291,10 @@ int cmdProfile(const OptionParser &Opts) {
   uint64_t M = pow2(LogM);
 
   Heap H;
-  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  std::string FactoryError;
+  auto MM = createManagerChecked(Policy, H, C, /*LiveBound=*/M, &FactoryError);
   if (!MM) {
-    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    std::cerr << "error: " << FactoryError << "\n";
     return 1;
   }
   std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
@@ -353,9 +372,10 @@ int cmdReplay(const OptionParser &Opts) {
   double C = Opts.getDouble("c", 50.0);
   uint64_t M = pow2(LogM);
   Heap H;
-  auto MM = createManager(Policy, H, C, /*LiveBound=*/M);
+  std::string FactoryError;
+  auto MM = createManagerChecked(Policy, H, C, /*LiveBound=*/M, &FactoryError);
   if (!MM) {
-    std::cerr << "error: unknown policy '" << Policy << "'\n";
+    std::cerr << "error: " << FactoryError << "\n";
     return 1;
   }
   TraceReplayProgram Prog(Log.toTrace());
@@ -402,15 +422,17 @@ int cmdSweep(const OptionParser &Opts) {
   }
 
   // Validate every name once, serially, before fanning out.
+  std::string FactoryError;
   for (const std::string &Policy : Policies) {
     Heap Probe;
-    if (!createManager(Policy, Probe, 50.0, /*LiveBound=*/M)) {
-      std::cerr << "error: unknown policy '" << Policy << "'\n";
+    if (!createManagerChecked(Policy, Probe, 50.0, /*LiveBound=*/M,
+                              &FactoryError)) {
+      std::cerr << "error: " << FactoryError << "\n";
       return 1;
     }
   }
-  if (!createProgram(ProgName, M, LogN, 50.0)) {
-    std::cerr << "error: unknown program '" << ProgName << "'\n";
+  if (!createProgramChecked(ProgName, M, LogN, 50.0, &FactoryError)) {
+    std::cerr << "error: " << FactoryError << "\n";
     return 1;
   }
 
@@ -489,8 +511,9 @@ bool parsePolicyList(const OptionParser &Opts, uint64_t LiveBound,
   }
   for (const std::string &Policy : Policies) {
     Heap Probe;
-    if (!createManager(Policy, Probe, 50.0, LiveBound)) {
-      std::cerr << "error: unknown policy '" << Policy << "'\n";
+    std::string Error;
+    if (!createManagerChecked(Policy, Probe, 50.0, LiveBound, &Error)) {
+      std::cerr << "error: " << Error << "\n";
       return false;
     }
   }
@@ -683,8 +706,10 @@ int cmdReplayTrace(const OptionParser &Opts) {
   double C = Opts.getDouble("c", HeaderC);
   {
     Heap Probe;
-    if (!createManager(Policy, Probe, 50.0, /*LiveBound=*/pow2(12))) {
-      std::cerr << "error: unknown policy '" << Policy << "'\n";
+    std::string Error;
+    if (!createManagerChecked(Policy, Probe, 50.0, /*LiveBound=*/pow2(12),
+                              &Error)) {
+      std::cerr << "error: " << Error << "\n";
       return 1;
     }
   }
@@ -742,6 +767,209 @@ int cmdReplayTrace(const OptionParser &Opts) {
   return NumProblems ? 1 : 0;
 }
 
+/// Parses a comma-separated list of positive integers from option \p Opt.
+bool parseUIntList(const std::string &Text, const char *Opt,
+                   std::vector<uint64_t> &Out) {
+  std::istringstream IS(Text);
+  std::string Item;
+  while (std::getline(IS, Item, ',')) {
+    if (Item.empty())
+      continue;
+    char *End = nullptr;
+    unsigned long long Value = std::strtoull(Item.c_str(), &End, 10);
+    if (!End || *End != '\0' || Value == 0) {
+      std::cerr << "error: invalid number '" << Item << "' in " << Opt
+                << "=\n";
+      return false;
+    }
+    Out.push_back(Value);
+  }
+  if (Out.empty())
+    std::cerr << "error: " << Opt << "= must name at least one value\n";
+  return !Out.empty();
+}
+
+/// A bound column for the exact table: "-" when the closed form does not
+/// apply at the cell's parameters.
+std::string formatBound(double Words) {
+  return std::isnan(Words) ? std::string("-") : formatDouble(Words, 1);
+}
+
+int cmdExact(const OptionParser &Opts) {
+  std::vector<uint64_t> Ms, Ns;
+  if (!parseUIntList(Opts.getString("Ms", "2,4,8"), "Ms", Ms) ||
+      !parseUIntList(Opts.getString("ns", "2,4"), "ns", Ns))
+    return 1;
+
+  // Quotas are integer denominators; "inf" is the non-moving manager
+  // (solver convention C = 0 — see ExactParams).
+  std::vector<std::pair<std::string, uint64_t>> Cs;
+  {
+    std::istringstream IS(Opts.getString("cs", "1,2,4,inf"));
+    std::string Item;
+    while (std::getline(IS, Item, ',')) {
+      if (Item.empty())
+        continue;
+      if (Item == "inf" || Item == "infinity") {
+        Cs.push_back({"inf", 0});
+        continue;
+      }
+      char *End = nullptr;
+      unsigned long long Value = std::strtoull(Item.c_str(), &End, 10);
+      if (!End || *End != '\0' || Value == 0) {
+        std::cerr << "error: invalid quota '" << Item
+                  << "' in cs= (positive integer or inf)\n";
+        return 1;
+      }
+      Cs.push_back({Item, Value});
+    }
+    if (Cs.empty()) {
+      std::cerr << "error: cs= must name at least one quota\n";
+      return 1;
+    }
+  }
+
+  struct ExactCell {
+    ExactParams P;
+    std::string CLabel;
+  };
+  std::vector<ExactCell> Cells;
+  unsigned Skipped = 0;
+  for (uint64_t M : Ms)
+    for (uint64_t N : Ns)
+      for (const auto &[Label, C] : Cs) {
+        ExactParams P;
+        P.M = M;
+        P.N = N;
+        P.C = C;
+        P.BudgetCap = Opts.getUInt("budget-cap", 0);
+        P.NodeLimit = Opts.getUInt("node-limit", 0);
+        P.MaxArena = unsigned(Opts.getUInt("max-arena", 0));
+        if (N > M) {
+          // Out of domain, not an error: a P2(M, n) program can never
+          // allocate an object larger than its live bound.
+          ++Skipped;
+          continue;
+        }
+        if (!P.valid()) {
+          std::cerr << "error: cell M=" << M << " n=" << N << " c=" << Label
+                    << " is outside the solvable range (M <= 24,"
+                    << " power-of-two n <= 16, arena <= 30)\n";
+          return 1;
+        }
+        Cells.push_back({P, Label});
+      }
+
+  RunnerOptions RO;
+  RO.Threads = unsigned(Opts.getUInt("threads", 0));
+  if (Opts.has("progress"))
+    RO.Progress = Opts.getBool("progress", true) ? 1 : 0;
+  Runner R(RO);
+
+  std::cout << "# exact: solving " << Cells.size() << " cells ("
+            << Skipped << " out-of-domain skipped, threads=" << R.threads()
+            << ")\n";
+
+  std::vector<ExactCertificate> Certs{Cells.size()};
+  R.forEachCell(Cells.size(), [&](uint64_t I) {
+    const ExactParams &P = Cells[size_t(I)].P;
+    Certs[size_t(I)] = certifyCell(P, solveExact(P));
+  });
+
+  ResultSink Sink({"M", "n", "c", "exact", "lower", "robson", "thm2",
+                   "upper", "nodes", "status"});
+  uint64_t NumOk = 0, NumStrict = 0, NumFailed = 0;
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const ExactCell &Cell = Cells[I];
+    const ExactCertificate &Cert = Certs[I];
+    uint64_t Nodes = 0;
+    for (const ArenaOutcome &A : Cert.Result.Arenas)
+      Nodes += A.Nodes;
+    std::string Status = !Cert.Result.Solved ? "unsolved"
+                         : !Cert.ok()        ? "FAIL"
+                         : Cert.Strict       ? "ok-strict"
+                                             : "ok";
+    if (Cert.ok()) {
+      ++NumOk;
+      NumStrict += Cert.Strict;
+    } else {
+      ++NumFailed;
+      std::cerr << "exact: certificate FAILED: " << Cert.describe() << "\n";
+    }
+    Sink.append(Row()
+                    .addCell(Cell.P.M)
+                    .addCell(Cell.P.N)
+                    .addCell(Cell.CLabel)
+                    .addCell(Cert.Result.Solved
+                                 ? std::to_string(Cert.Result.ExactWords)
+                                 : std::string("-"))
+                    .addCell(formatBound(Cert.LowerWords))
+                    .addCell(formatBound(Cert.RobsonWords))
+                    .addCell(formatBound(Cert.Theorem2Words))
+                    .addCell(formatBound(Cert.UpperWords))
+                    .addCell(Nodes)
+                    .addCell(Status));
+  }
+
+  // Ground truth must be monotone in the quota: a larger integer c (and
+  // c = infinity above all of them) means strictly less compaction, so
+  // the forced heap size can only grow. A violation convicts the solver,
+  // not the bounds layer.
+  unsigned NumMonotoneViolations = 0;
+  std::map<std::pair<uint64_t, uint64_t>,
+           std::vector<std::pair<uint64_t, uint64_t>>>
+      ByCell; // (M, n) -> sorted (quota rank, exact)
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    if (!Certs[I].Result.Solved)
+      continue;
+    uint64_t Rank = Cells[I].P.C == 0 ? UINT64_MAX : Cells[I].P.C;
+    ByCell[{Cells[I].P.M, Cells[I].P.N}].push_back(
+        {Rank, Certs[I].Result.ExactWords});
+  }
+  for (auto &[MN, Series] : ByCell) {
+    std::sort(Series.begin(), Series.end());
+    for (size_t I = 1; I < Series.size(); ++I)
+      if (Series[I].second < Series[I - 1].second) {
+        ++NumMonotoneViolations;
+        std::cerr << "exact: non-monotone in c at M=" << MN.first
+                  << " n=" << MN.second << ": exact dropped from "
+                  << Series[I - 1].second << " to " << Series[I].second
+                  << " as c grew\n";
+      }
+  }
+
+  std::string WitnessDir = Opts.getString("witness-dir", "");
+  if (!WitnessDir.empty()) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (Certs[I].Result.Witness.empty())
+        continue;
+      const ExactParams &P = Cells[I].P;
+      std::string Path = WitnessDir + "/exact-M" + std::to_string(P.M) +
+                         "-n" + std::to_string(P.N) + "-c" +
+                         Cells[I].CLabel + ".trace";
+      std::ofstream OS(Path);
+      if (!OS) {
+        std::cerr << "error: cannot write witness '" << Path << "'\n";
+        return 1;
+      }
+      OS << "# pcbound exact witness: M=" << P.M << " n=" << P.N
+         << " c=" << Cells[I].CLabel << " proves HS >= "
+         << Certs[I].Result.ExactWords << "\n";
+      writeEventLog(OS, witnessToEventLog(Certs[I].Result.Witness));
+    }
+    std::cout << "# witness traces written to " << WitnessDir
+              << "/ (replayable with pcbound replay-trace)\n";
+  }
+
+  if (!Sink.emit(Opts))
+    return 1;
+  bool Failed = NumFailed != 0 || NumMonotoneViolations != 0;
+  std::cout << "exact: " << (Failed ? "FAIL" : "OK") << " — " << NumOk
+            << " of " << Cells.size() << " cells certified (" << NumStrict
+            << " strictly separating Theorem 1 from Theorem 2)\n";
+  return Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -765,6 +993,8 @@ int main(int argc, char **argv) {
     return cmdFuzz(Opts);
   if (Command == "replay-trace")
     return cmdReplayTrace(Opts);
+  if (Command == "exact")
+    return cmdExact(Opts);
   if (Command == "policies") {
     std::cout << "# manager policies\n";
     for (const std::string &Policy : allManagerPolicies())
