@@ -23,6 +23,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 using namespace pcb;
 
 namespace {
@@ -65,6 +67,51 @@ void BM_FreeIndexReserveRelease(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FreeIndexReserveRelease);
+
+// --- Bitboard kernels -------------------------------------------------------
+// The packed-occupancy primitives the placement queries are built from:
+// span extraction (with and without the cross-word shift path), the
+// popcount aggregate, and first fit over a checkerboarded board whose
+// digests are all dirty (every query pays a word-level sweep).
+
+void BM_BitmapOccupancyWords(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, 4096, 8);
+  const Addr Start = Addr(State.range(0)); // 0 = aligned, else shifted
+  std::array<uint64_t, 64> Out;
+  for (auto _ : State) {
+    F.occupancyWords(Start, Out.size(), Out.data());
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_BitmapOccupancyWords)->Arg(0)->Arg(13);
+
+void BM_BitmapFreeWordsIn(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, 4096, 8);
+  Addr At = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.freeWordsIn(At, At + 1024));
+    At = (At + 1024) % (4096 * 16);
+  }
+}
+BENCHMARK(BM_BitmapFreeWordsIn);
+
+void BM_BitmapFirstFitDirty(benchmark::State &State) {
+  FreeSpaceIndex F;
+  fragment(F, 4096, 8);
+  // Alternately splitting and restoring one hole per iteration keeps the
+  // touched super permanently dirty: the measured loop is the digest
+  // re-derivation plus the in-word run scan, not a digest cache hit.
+  Rng R(7);
+  for (auto _ : State) {
+    Addr A = R.nextBelow(4096) * 16;
+    F.reserve(A + 3, 2);
+    benchmark::DoNotOptimize(F.firstFit(8));
+    F.release(A + 3, 2);
+  }
+}
+BENCHMARK(BM_BitmapFirstFitDirty);
 
 void BM_HeapPlaceFree(benchmark::State &State) {
   Heap H;

@@ -58,9 +58,8 @@ bool CohenPetrankProgram::onObjectMoved(ObjectId Id, Addr From, Addr To) {
 
   // Stage two: the object's association entries persist as phantoms; the
   // object itself is freed immediately (return true).
-  auto WIt = Where.find(Id);
-  assert(WIt != Where.end() && "moved object has no association");
-  for (uint64_t Index : WIt->second) {
+  assert(isAssociated(Id) && "moved object has no association");
+  for (uint64_t Index : Where[Id]) {
     if (Index == NoChunk)
       continue;
     auto CIt = Chunks.find(Index);
@@ -72,7 +71,7 @@ bool CohenPetrankProgram::onObjectMoved(ObjectId Id, Addr From, Addr To) {
         // (Definition 4.12) — but a phantom is not fresh; leave InE.
       }
   }
-  Where.erase(WIt);
+  Where[Id] = {NoChunk, NoChunk};
   return true;
 }
 
@@ -122,6 +121,17 @@ void CohenPetrankProgram::buildInitialAssociation(MutatorContext &Ctx) {
   CurLog = 2 * Sigma - 1;
   uint64_t FSigma = Core.offset();
   uint64_t Period = pow2(Sigma);
+  assert(Chunks.empty() && "stage boundary reached twice");
+  // Survivor addresses arrive in allocation order, i.e. scattered across
+  // the heap; stable-sorting by chunk first turns the map build into an
+  // ordered end()-hinted append while keeping each chunk's entry order
+  // (allocation order) intact.
+  struct Rec {
+    uint64_t Index;
+    ObjectId Id;
+    uint64_t Size;
+  };
+  std::vector<Rec> Recs;
   for (ObjectId Id : Core.objects()) {
     if (!Ctx.heap().isLive(Id))
       continue;
@@ -134,11 +144,18 @@ void CohenPetrankProgram::buildInitialAssociation(MutatorContext &Ctx) {
         Opts.RobsonBootstrap ? ((FSigma - O.Address) & (Period - 1)) : 0;
     assert(Distance < O.Size && "survivor is not f_sigma-occupying");
     Addr Word = O.Address + Distance;
-    uint64_t Index = Word >> CurLog;
-    ChunkState &CS = Chunks[Index];
-    CS.Entries.push_back(Entry{Id, O.Size, false});
-    CS.AssocWords += O.Size;
-    Where[Id] = {Index, NoChunk};
+    Recs.push_back(Rec{Word >> CurLog, Id, O.Size});
+  }
+  std::stable_sort(
+      Recs.begin(), Recs.end(),
+      [](const Rec &A, const Rec &B) { return A.Index < B.Index; });
+  for (const Rec &R : Recs) {
+    if (Chunks.empty() || Chunks.rbegin()->first != R.Index)
+      Chunks.emplace_hint(Chunks.end(), R.Index, ChunkState{});
+    ChunkState &CS = Chunks.rbegin()->second;
+    CS.Entries.push_back(Entry{R.Id, R.Size, false});
+    CS.AssocWords += R.Size;
+    whereSlot(R.Id) = {R.Index, NoChunk};
   }
 }
 
@@ -161,12 +178,22 @@ void CohenPetrankProgram::normalizeChunk(ChunkState &CS) {
 void CohenPetrankProgram::mergeChunksTo(unsigned NewLog) {
   assert(NewLog >= CurLog && "partitions only coarsen");
   while (CurLog < NewLog) {
+    // Chunks ascend by index, so merged indices (Index >> 1) arrive
+    // nondecreasing: build the coarser partition with end-hinted inserts
+    // and steal the first child's entry storage instead of copying.
     std::map<uint64_t, ChunkState> Merged;
+    auto Last = Merged.end();
     for (auto &[Index, CS] : Chunks) {
-      ChunkState &Dst = Merged[Index >> 1];
+      uint64_t Coarse = Index >> 1;
+      if (Last == Merged.end() || Last->first != Coarse)
+        Last = Merged.emplace_hint(Merged.end(), Coarse, ChunkState{});
+      ChunkState &Dst = Last->second;
       Dst.AssocWords += CS.AssocWords;
-      Dst.Entries.insert(Dst.Entries.end(), CS.Entries.begin(),
-                         CS.Entries.end());
+      if (Dst.Entries.empty())
+        Dst.Entries = std::move(CS.Entries);
+      else
+        Dst.Entries.insert(Dst.Entries.end(), CS.Entries.begin(),
+                           CS.Entries.end());
       // E membership dissolves on a step change (Definition 4.12).
       Dst.InE = false;
     }
@@ -181,18 +208,18 @@ void CohenPetrankProgram::mergeChunksTo(unsigned NewLog) {
 }
 
 void CohenPetrankProgram::rebuildWhere() {
-  Where.clear();
+  Where.assign(Where.size(), {NoChunk, NoChunk});
   for (const auto &[Index, CS] : Chunks)
     for (const Entry &E : CS.Entries) {
       if (E.Phantom)
         continue;
-      auto It = Where.find(E.Id);
-      if (It == Where.end())
-        Where[E.Id] = {Index, NoChunk};
-      else {
-        assert(It->second[1] == NoChunk &&
+      std::array<uint64_t, 2> &Slot = whereSlot(E.Id);
+      if (Slot[0] == NoChunk) {
+        Slot[0] = Index;
+      } else {
+        assert(Slot[1] == NoChunk &&
                "object associated with more than two chunks");
-        It->second[1] = Index;
+        Slot[1] = Index;
       }
     }
 }
@@ -231,17 +258,16 @@ void CohenPetrankProgram::reevaluateChunk(MutatorContext &Ctx,
 
     if (Words == ObjectSize) {
       // Wholly associated here: actually de-allocate it.
-      Where.erase(Id);
+      Where[Id] = {NoChunk, NoChunk};
       Ctx.free(Id);
       continue;
     }
     // A half object: re-associate it wholly with the chunk holding the
     // other half and re-evaluate that chunk (line 13's transfer rule).
     assert(2 * Words == ObjectSize && "association is neither whole nor half");
-    auto WIt = Where.find(Id);
-    assert(WIt != Where.end() && "half object without reverse mapping");
-    uint64_t Other =
-        WIt->second[0] == Index ? WIt->second[1] : WIt->second[0];
+    assert(isAssociated(Id) && "half object without reverse mapping");
+    std::array<uint64_t, 2> &Slot = Where[Id];
+    uint64_t Other = Slot[0] == Index ? Slot[1] : Slot[0];
     assert(Other != NoChunk && "half object with only one chunk");
     auto OIt = Chunks.find(Other);
     assert(OIt != Chunks.end() && "other half's chunk is unknown");
@@ -255,7 +281,7 @@ void CohenPetrankProgram::reevaluateChunk(MutatorContext &Ctx,
     assert(Found && "other half's entry is missing");
     (void)Found;
     OIt->second.AssocWords += Words;
-    WIt->second = {Other, NoChunk};
+    Slot = {Other, NoChunk};
     Worklist.push_back(Other);
   }
 }
@@ -315,7 +341,7 @@ void CohenPetrankProgram::allocateStageTwo(MutatorContext &Ctx, unsigned I) {
     ChunkState &C3 = Chunks[D3];
     C3.Entries.push_back(Entry{Id, Size / 2, false});
     C3.AssocWords = Size / 2;
-    Where[Id] = {D1, D3};
+    whereSlot(Id) = {D1, D3};
   }
 }
 
@@ -374,8 +400,7 @@ bool CohenPetrankProgram::checkAssociationInvariants() const {
       return false;
     if (Parts > 2)
       return false;
-    auto WIt = Where.find(Id);
-    if (WIt == Where.end())
+    if (!isAssociated(Id))
       return false;
   }
   return true;

@@ -148,9 +148,22 @@ private:
   unsigned CurLog = 0;
   bool RanStageTwoStep = false;
   std::map<uint64_t, ChunkState> Chunks;
-  /// Object id -> the one or two chunk indices it is associated with.
-  std::map<ObjectId, std::array<uint64_t, 2>> Where;
+  /// Object id -> the one or two chunk indices it is associated with,
+  /// indexed by id ({NoChunk, NoChunk} = not associated; slot 0 always
+  /// names a real chunk otherwise). A flat table: ids are dense and the
+  /// lookups (every move, every density free) are pure keyed access.
+  std::vector<std::array<uint64_t, 2>> Where;
   const Heap *TheHeap = nullptr;
+
+  /// Where[Id], growing the table as needed.
+  std::array<uint64_t, 2> &whereSlot(ObjectId Id) {
+    if (Id >= Where.size())
+      Where.resize(size_t(Id) + 1, {NoChunk, NoChunk});
+    return Where[Id];
+  }
+  bool isAssociated(ObjectId Id) const {
+    return Id < Where.size() && Where[Id][0] != NoChunk;
+  }
 };
 
 } // namespace pcb

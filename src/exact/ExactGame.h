@@ -34,6 +34,7 @@
 #ifndef PCBOUND_EXACT_EXACTGAME_H
 #define PCBOUND_EXACT_EXACTGAME_H
 
+#include "support/BitOps.h"
 #include "support/MathUtils.h"
 
 #include <bit>
@@ -120,18 +121,18 @@ inline bool layoutFits(ArenaLayout L, unsigned W, unsigned Size,
                        unsigned Pos) {
   if (Pos + Size > W)
     return false;
-  uint32_t Range = ((Size >= 32 ? 0u : (1u << Size)) - 1u) << Pos;
+  uint32_t Range = lowMask32(Size) << Pos;
   return (L.Occ & Range) == 0;
 }
 
 inline ArenaLayout layoutPlace(ArenaLayout L, unsigned Size, unsigned Pos) {
-  uint32_t Range = ((1u << Size) - 1u) << Pos;
+  uint32_t Range = lowMask32(Size) << Pos;
   assert((L.Occ & Range) == 0 && "placement target not free");
   return {L.Occ | Range, L.Starts | (1u << Pos)};
 }
 
 inline ArenaLayout layoutRemove(ArenaLayout L, unsigned Size, unsigned Pos) {
-  uint32_t Range = ((1u << Size) - 1u) << Pos;
+  uint32_t Range = lowMask32(Size) << Pos;
   assert((L.Starts >> Pos) & 1u && "no object starts here");
   assert((L.Occ & Range) == Range && "object extent not occupied");
   return {L.Occ & ~Range, L.Starts & ~(1u << Pos)};
@@ -166,7 +167,7 @@ inline ArenaLayout mirrorLayout(ArenaLayout L, unsigned W) {
   ArenaLayout R;
   forEachLayoutObject(L, W, [&](unsigned Start, unsigned Size) {
     unsigned NewStart = W - Start - Size;
-    R.Occ |= ((1u << Size) - 1u) << NewStart;
+    R.Occ |= lowMask32(Size) << NewStart;
     R.Starts |= 1u << NewStart;
   });
   return R;

@@ -7,7 +7,7 @@
 
 #include "fuzz/DifferentialHarness.h"
 
-#include "fuzz/IndexParityChecker.h"
+#include "fuzz/HeapParityChecker.h"
 
 #include "driver/Execution.h"
 #include "driver/TraceIO.h"
@@ -75,11 +75,11 @@ DifferentialHarness::runPolicy(const std::string &Policy,
 
   // The harness owns the event callback (rather than handing the log to
   // Execution) so the LogTap fault-injection port can intercept events.
-  // The index-parity mirror is fed the original event first: it tracks
+  // The heap-parity mirror is fed the original event first: it tracks
   // the real heap, and must stay immune to injected log corruption.
   EventLog Log;
-  std::optional<IndexParityChecker> Parity;
-  if (Opts.IndexParity)
+  std::optional<HeapParityChecker> Parity;
+  if (Opts.HeapParity)
     Parity.emplace(H);
   H.setEventCallback([this, &Log, &Parity](const HeapEvent &E) {
     if (Parity)

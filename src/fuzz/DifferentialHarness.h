@@ -90,10 +90,12 @@ public:
     /// Stop collecting per-run violations beyond this many (a broken
     /// substrate would otherwise report one per step).
     size_t MaxViolationsPerRun = 16;
-    /// Cross-check the live flat free-space index against the preserved
-    /// node-based reference on every step (the 14th, policy-invisible
-    /// checker: the managers never see the reference index).
-    bool IndexParity = true;
+    /// Cross-check the live bitboard heap against the preserved
+    /// pre-bitboard ReferenceHeap on every step — free blocks, placement
+    /// queries, object table, statistics, and occupancy/start masks (the
+    /// 14th, policy-invisible checker: the managers never see the
+    /// reference heap).
+    bool HeapParity = true;
     /// Observation port: invoked with each per-policy Execution right
     /// after construction, before any step runs. Lets callers attach
     /// step observers (e.g. a TimelineSampler recording the heap state

@@ -4,6 +4,17 @@
 // Partial Compaction: Towards Practical Bounds" (PLDI 2013).
 //
 //===----------------------------------------------------------------------===//
+//
+// Every query is a scan over the occupancy bitboard: free blocks are
+// maximal zero runs, assembled on the fly with a carry of "open run
+// length" threaded across words and supers. A run is *complete* when a
+// used bit terminates it; the scans report complete runs in address
+// order, which makes every lowest-address tie-break automatic. Runs
+// spanning supers need no word access at all — a super's digest gives
+// the exact prefix/suffix free-run lengths, so the chain
+// suffix -> (all-free supers) -> prefix reconstructs them arithmetically.
+//
+//===----------------------------------------------------------------------===//
 
 #include "heap/FreeSpaceIndex.h"
 
@@ -12,16 +23,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 
 using namespace pcb;
 
-FreeSpaceIndex::FreeSpaceIndex() {
-  for (unsigned K = 0; K != NumClasses; ++K)
-    ClassMin[K] = AddrLimit;
-  insertBlock(0, AddrLimit);
-  classAdd(AddrLimit, 0);
-}
+FreeSpaceIndex::FreeSpaceIndex() = default;
 
 unsigned FreeSpaceIndex::classOf(uint64_t Size) {
   assert(Size != 0 && "zero-size block");
@@ -30,277 +35,553 @@ unsigned FreeSpaceIndex::classOf(uint64_t Size) {
 }
 
 //===----------------------------------------------------------------------===//
-// Leaf plumbing
+// Board growth and digests
 //===----------------------------------------------------------------------===//
 
-FreeSpaceIndex::Leaf *FreeSpaceIndex::newLeaf() {
-  if (!FreeLeaves.empty()) {
-    Leaf *L = FreeLeaves.back();
-    FreeLeaves.pop_back();
-    L->Count = 0;
-    return L;
-  }
-  Pool.push_back(std::make_unique<Leaf>());
-  return Pool.back().get();
+void FreeSpaceIndex::growDense(uint64_t NeedBits) {
+  assert(NeedBits <= MaxDenseBits && "dense board beyond its ceiling");
+  size_t NeedWords = size_t(alignUp(ceilDiv(NeedBits, WordBits), SuperWords));
+  size_t Grown = std::max(NeedWords, Occ.sizeWords() * 2);
+  Grown = std::min(Grown, size_t(MaxDenseBits / WordBits));
+  Occ.growWords(Grown);
+  Super AllFree;
+  AllFree.Pre = AllFree.Suf = AllFree.Max = SuperBits;
+  AllFree.FreeCount = SuperBits;
+  Sum.resize(Occ.sizeWords() / SuperWords, AllFree);
 }
 
-void FreeSpaceIndex::recycleLeaf(Leaf *L) { FreeLeaves.push_back(L); }
+namespace {
 
-size_t FreeSpaceIndex::leafFor(Addr A) const {
-  // Last directory entry with FirstStart <= A. The directory is small
-  // (Cap blocks per leaf), so this binary search is shallow.
-  size_t Lo = 0, Hi = Dir.size();
-  while (Lo < Hi) {
-    size_t Mid = (Lo + Hi) / 2;
-    if (Dir[Mid].FirstStart <= A)
-      Lo = Mid + 1;
-    else
-      Hi = Mid;
-  }
-  return Lo == 0 ? NoLeaf : Lo - 1;
-}
-
-uint32_t FreeSpaceIndex::slotUpperBound(const Leaf &L, Addr A) {
-  return uint32_t(std::upper_bound(L.Starts, L.Starts + L.Count, A) -
-                  L.Starts);
-}
-
-uint32_t FreeSpaceIndex::slotLowerBound(const Leaf &L, Addr A) {
-  return uint32_t(std::lower_bound(L.Starts, L.Starts + L.Count, A) -
-                  L.Starts);
-}
-
-void FreeSpaceIndex::refreshSummary(size_t Li) {
-  LeafMeta &M = Dir[Li];
-  const Leaf &L = *M.L;
-  assert(L.Count != 0 && "summarizing an empty leaf");
-  M.FirstStart = L.Starts[0];
-  M.Count = L.Count;
-  uint64_t MaxSize = 0;
-  uint64_t Mask = 0;
-  for (uint32_t I = 0; I != L.Count; ++I) {
-    uint64_t Size = L.Ends[I] - L.Starts[I];
-    MaxSize = std::max(MaxSize, Size);
-    Mask |= uint64_t(1) << classOf(Size);
-  }
-  M.MaxSize = MaxSize;
-  M.ClassMask = Mask;
-}
-
-void FreeSpaceIndex::insertSlot(size_t Li, uint32_t Slot, Addr S, Addr E) {
-  Leaf *L = Dir[Li].L;
-  if (L->Count == Leaf::Cap) {
-    // Split: move the upper half into a fresh leaf directly after Li.
-    constexpr uint32_t Half = Leaf::Cap / 2;
-    Leaf *NL = newLeaf();
-    std::memcpy(NL->Starts, L->Starts + Half, Half * sizeof(Addr));
-    std::memcpy(NL->Ends, L->Ends + Half, Half * sizeof(Addr));
-    NL->Count = Half;
-    L->Count = Half;
-    Dir.insert(Dir.begin() + Li + 1,
-               LeafMeta{NL->Starts[0], 0, 0, Half, NL});
-    refreshSummary(Li);
-    refreshSummary(Li + 1);
-    if (Slot > Half) {
-      ++Li;
-      Slot -= Half;
-      L = NL;
+/// First set occupancy bit in [From, To), or To when none. \p To must be
+/// word-aligned and committed; the scan is bounded by To.
+uint64_t findSetIn(const PackedBitmap &Occ, uint64_t From, uint64_t To) {
+  if (From >= To)
+    return To;
+  size_t WI = size_t(From / WordBits), W1 = size_t((To - 1) / WordBits);
+  uint64_t U = Occ.word(WI) & ~lowMask(unsigned(From % WordBits));
+  for (;;) {
+    if (U != 0) {
+      uint64_t B = uint64_t(WI) * WordBits + countTrailingZeros(U);
+      return B < To ? B : To;
     }
+    if (WI == W1)
+      return To;
+    U = Occ.word(++WI);
   }
-  assert(Slot <= L->Count && "slot out of range");
-  std::memmove(L->Starts + Slot + 1, L->Starts + Slot,
-               (L->Count - Slot) * sizeof(Addr));
-  std::memmove(L->Ends + Slot + 1, L->Ends + Slot,
-               (L->Count - Slot) * sizeof(Addr));
-  L->Starts[Slot] = S;
-  L->Ends[Slot] = E;
-  ++L->Count;
-  refreshSummary(Li);
 }
 
-void FreeSpaceIndex::eraseSlot(size_t Li, uint32_t Slot) {
-  Leaf *L = Dir[Li].L;
-  assert(Slot < L->Count && "slot out of range");
-  std::memmove(L->Starts + Slot, L->Starts + Slot + 1,
-               (L->Count - Slot - 1) * sizeof(Addr));
-  std::memmove(L->Ends + Slot, L->Ends + Slot + 1,
-               (L->Count - Slot - 1) * sizeof(Addr));
-  if (--L->Count == 0) {
-    recycleLeaf(L);
-    Dir.erase(Dir.begin() + Li);
+/// Bits i where \p F has ones at every position i .. i + L - 1 (runs of
+/// length >= \p L wholly inside the word; the shift chain feeds zeros in
+/// from the top, so runs are never counted past bit 63). O(log L).
+uint64_t runsGE(uint64_t F, uint64_t L) {
+  uint64_t Have = 1;
+  while (Have < L && F != 0) {
+    uint64_t S = std::min(Have, L - Have);
+    F &= F >> unsigned(S);
+    Have += S;
+  }
+  return F;
+}
+
+/// Last set occupancy bit in [From, To), or PackedBitmap::NoBit. \p From
+/// must be word-aligned and the range committed.
+uint64_t findSetBackIn(const PackedBitmap &Occ, uint64_t From, uint64_t To) {
+  if (From >= To)
+    return PackedBitmap::NoBit;
+  size_t W0 = size_t(From / WordBits), WI = size_t((To - 1) / WordBits);
+  uint64_t U = Occ.word(WI) & lowMask(unsigned((To - 1) % WordBits) + 1);
+  for (;;) {
+    if (U != 0)
+      return uint64_t(WI) * WordBits + topBitIndex(U);
+    if (WI == W0)
+      return PackedBitmap::NoBit;
+    U = Occ.word(--WI);
+  }
+}
+
+} // namespace
+
+void FreeSpaceIndex::noteReserve(uint64_t S, uint64_t E) {
+  assert(S < E && E <= capBits() && "digest range beyond the board");
+  size_t I1 = size_t((E - 1) / SuperBits);
+  for (size_t I = size_t(S / SuperBits); I <= I1; ++I) {
+    Super &Sp = Sum[I];
+    uint64_t B = uint64_t(I) * SuperBits, WEnd = B + SuperBits;
+    uint64_t Lo = std::max(S, B), Hi = std::min(E, WEnd);
+    Sp.FreeCount = uint16_t(Sp.FreeCount - (Hi - Lo));
+    Sp.Pre = std::min(Sp.Pre, uint16_t(Lo - B));
+    Sp.Suf = std::min(Sp.Suf, uint16_t(WEnd - Hi));
+    // Splitting runs only shrinks them, so the stale Max stays an upper
+    // bound until a descent recomputes it.
+    Sp.Dirty = true;
+  }
+}
+
+void FreeSpaceIndex::noteRelease(uint64_t S, uint64_t E) {
+  assert(S < E && E <= capBits() && "digest range beyond the board");
+  size_t I1 = size_t((E - 1) / SuperBits);
+  for (size_t I = size_t(S / SuperBits); I <= I1; ++I) {
+    Super &Sp = Sum[I];
+    uint64_t B = uint64_t(I) * SuperBits, WEnd = B + SuperBits;
+    uint64_t Lo = std::max(S, B), Hi = std::min(E, WEnd);
+    Sp.FreeCount = uint16_t(Sp.FreeCount + (Hi - Lo));
+    if (Sp.FreeCount == SuperBits) {
+      Sp.Pre = Sp.Suf = Sp.Max = uint16_t(SuperBits);
+      Sp.Trans = 0;
+      Sp.ClassMask = 0;
+      Sp.Dirty = false;
+      continue;
+    }
+    // The release merged every adjacent run into one; find its extent
+    // within the window (the bits are already cleared).
+    uint64_t RHi = findSetIn(Occ, Hi, WEnd);
+    uint64_t LU = findSetBackIn(Occ, B, Lo);
+    uint64_t RLo = LU == PackedBitmap::NoBit ? B : LU + 1;
+    if (RLo == B)
+      Sp.Pre = uint16_t(RHi - B);
+    if (RHi == WEnd)
+      Sp.Suf = uint16_t(WEnd - RLo);
+    Sp.Max = std::max(Sp.Max, uint16_t(RHi - RLo));
+    Sp.Dirty = true;
+  }
+}
+
+void FreeSpaceIndex::ensureClean(size_t I) const {
+  if (Sum[I].Dirty)
+    recomputeSuper(I);
+}
+
+void FreeSpaceIndex::recomputeSuper(size_t I) const {
+  Super &S = Sum[I];
+  const uint64_t *W = Occ.words() + I * SuperWords;
+  unsigned Free = 0, MaxRun = 0, Pre = 0, Trans = 0, Run = 0;
+  uint64_t CMask = 0;
+  bool SeenUsed = false;
+  for (unsigned WI = 0; WI != SuperWords; ++WI) {
+    const uint64_t U = W[WI];
+    Free += WordBits - popcount64(U);
+    if (U == 0) {
+      Run += WordBits;
+      continue;
+    }
+    // Jump used-run to used-run: one ctz finds the run's first used bit,
+    // a second (over the complement) skips past its last.
+    unsigned Prev = 0;
+    uint64_t Used = U;
+    while (Used != 0) {
+      unsigned B = countTrailingZeros(Used);
+      Run += B - Prev;
+      if (Run != 0) {
+        if (!SeenUsed) {
+          Pre = Run;
+        } else {
+          // A run with used bits on both sides, wholly interior to the
+          // window: its class participates in best-fit pruning.
+          CMask |= uint64_t(1) << classOf(Run);
+          ++Trans;
+        }
+        if (Run > MaxRun)
+          MaxRun = Run;
+        Run = 0;
+      }
+      SeenUsed = true;
+      uint64_t FreeAbove = ~U & ~lowMask(B);
+      if (FreeAbove == 0) {
+        Prev = WordBits;
+        break;
+      }
+      Prev = countTrailingZeros(FreeAbove);
+      Used = U & ~lowMask(Prev);
+    }
+    Run += WordBits - Prev;
+  }
+  if (!SeenUsed) {
+    S.Pre = S.Suf = S.Max = uint16_t(SuperBits);
+    S.Trans = 0;
+    S.FreeCount = uint16_t(SuperBits);
+    S.ClassMask = 0;
+    S.Dirty = false;
     return;
   }
-  refreshSummary(Li);
+  if (Run != 0) {
+    // Suffix run: starts after a used bit (counts as an interior start),
+    // but completes in a later super, so it stays out of ClassMask.
+    ++Trans;
+    if (Run > MaxRun)
+      MaxRun = Run;
+  }
+  S.Pre = uint16_t(Pre);
+  S.Suf = uint16_t(Run);
+  S.Max = uint16_t(MaxRun);
+  S.Trans = uint16_t(Trans);
+  S.FreeCount = uint16_t(Free);
+  S.ClassMask = CMask;
+  S.Dirty = false;
 }
 
-void FreeSpaceIndex::insertBlock(Addr S, Addr E) {
-  assert(S < E && "empty free block");
-  size_t Li = leafFor(S);
-  if (Li == NoLeaf) {
-    if (Dir.empty()) {
-      Leaf *L = newLeaf();
-      L->Starts[0] = S;
-      L->Ends[0] = E;
-      L->Count = 1;
-      Dir.push_back(LeafMeta{S, E - S, uint64_t(1) << classOf(E - S), 1, L});
-      return;
+//===----------------------------------------------------------------------===//
+// The interval map above the dense board
+//===----------------------------------------------------------------------===//
+
+bool FreeSpaceIndex::highRangeFree(Addr S, Addr E) const {
+  if (HighUsed.empty() || S >= E)
+    return true;
+  auto It = HighUsed.upper_bound(S);
+  if (It != HighUsed.begin() && std::prev(It)->second > S)
+    return false;
+  return It == HighUsed.end() || It->first >= E;
+}
+
+uint64_t FreeSpaceIndex::highUsedWordsIn(Addr S, Addr E) const {
+  if (HighUsed.empty() || S >= E)
+    return 0;
+  uint64_t Used = 0;
+  auto It = HighUsed.upper_bound(S);
+  if (It != HighUsed.begin())
+    --It;
+  for (; It != HighUsed.end() && It->first < E; ++It) {
+    Addr Lo = std::max(It->first, S), Hi = std::min(It->second, E);
+    if (Hi > Lo)
+      Used += Hi - Lo;
+  }
+  return Used;
+}
+
+uint64_t FreeSpaceIndex::highOccupancyWord(uint64_t I) const {
+  if (HighUsed.empty())
+    return 0;
+  Addr Base = Addr(I) * WordBits;
+  uint64_t Out = 0;
+  auto It = HighUsed.upper_bound(Base);
+  if (It != HighUsed.begin())
+    --It;
+  for (; It != HighUsed.end() && It->first < Base + WordBits; ++It) {
+    Addr Lo = std::max(It->first, Base);
+    Addr Hi = std::min<Addr>(It->second, Base + WordBits);
+    if (Hi > Lo)
+      Out |= bitRange(unsigned(Lo - Base), unsigned(Hi - Base));
+  }
+  return Out;
+}
+
+void FreeSpaceIndex::highReserve(Addr S, Addr E) {
+  assert(highRangeFree(S, E) && "reserve target is not free");
+  Addr NS = S, NE = E;
+  // Merge touching neighbours so the free gaps between intervals stay
+  // nonempty (run enumeration depends on it).
+  auto It = HighUsed.upper_bound(S);
+  if (It != HighUsed.begin()) {
+    auto P = std::prev(It);
+    if (P->second == S) {
+      NS = P->first;
+      HighUsed.erase(P);
     }
-    insertSlot(0, 0, S, E);
-    return;
   }
-  insertSlot(Li, slotUpperBound(*Dir[Li].L, S), S, E);
+  It = HighUsed.find(E);
+  if (It != HighUsed.end()) {
+    NE = It->second;
+    HighUsed.erase(It);
+  }
+  HighUsed[NS] = NE;
 }
 
-//===----------------------------------------------------------------------===//
-// Size-class summary
-//===----------------------------------------------------------------------===//
-
-void FreeSpaceIndex::classAdd(uint64_t Size, Addr Start) {
-  unsigned K = classOf(Size);
-  ++ClassCount[K];
-  ClassBits |= uint64_t(1) << K;
-  ClassMin[K] = std::min(ClassMin[K], Start);
-  ++TotalBlocks;
-}
-
-void FreeSpaceIndex::classRemove(uint64_t Size) {
-  unsigned K = classOf(Size);
-  assert(ClassCount[K] != 0 && "class count underflow");
-  if (--ClassCount[K] == 0) {
-    ClassBits &= ~(uint64_t(1) << K);
-    // The cache self-heals whenever a class empties: the next insert
-    // makes it exact again.
-    ClassMin[K] = AddrLimit;
-  }
-  --TotalBlocks;
-}
-
-Addr FreeSpaceIndex::fitScanHint(unsigned MinClass) const {
-  // Every block of size >= 2^MinClass lives in a class >= MinClass, and
-  // starts at or after its class's cached minimum, so no fit can begin
-  // before the smallest of those minima.
-  Addr Hint = AddrLimit;
-  for (uint64_t Bits = ClassBits >> MinClass; Bits != 0; Bits &= Bits - 1) {
-    unsigned K = MinClass + unsigned(log2Floor(Bits & -Bits));
-    Hint = std::min(Hint, ClassMin[K]);
-  }
-  return Hint;
+void FreeSpaceIndex::highRelease(Addr S, Addr E) {
+  auto It = HighUsed.upper_bound(S);
+  assert(It != HighUsed.begin() && "releasing a range that is partly free");
+  --It;
+  Addr IS = It->first, IE = It->second;
+  assert(IS <= S && E <= IE && "releasing a range that is partly free");
+  HighUsed.erase(It);
+  if (IS < S)
+    HighUsed[IS] = S;
+  if (E < IE)
+    HighUsed[E] = IE;
 }
 
 //===----------------------------------------------------------------------===//
 // Mutation
 //===----------------------------------------------------------------------===//
 
-void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
-  ScopedTimer Timer(Profiler::SecFreeRelease);
-  assert(Size != 0 && "releasing zero words");
-  Addr End = Start + Size;
-
-  // Predecessor: last block beginning at or before Start. A block
-  // beginning inside (Start, End) means the range is being
-  // double-released (one beginning exactly at End is fine: it is the
-  // coalescing successor).
-  size_t PLi = leafFor(Start);
-  uint32_t PSlot = 0;
-  bool HasPred = PLi != NoLeaf;
-  Addr PStart = 0, PEnd = 0;
-  if (HasPred) {
-    PSlot = slotUpperBound(*Dir[PLi].L, Start);
-    assert(PSlot != 0 && "leaf lookup missed the predecessor");
-    --PSlot;
-    PStart = Dir[PLi].L->Starts[PSlot];
-    PEnd = Dir[PLi].L->Ends[PSlot];
-    assert(PEnd <= Start && "releasing a range that is partly free");
-  }
-
-  // Successor: the block right after the predecessor (or the very first
-  // block when there is none).
-  size_t SLi = 0;
-  uint32_t SSlot = 0;
-  bool HasSucc;
-  if (!HasPred) {
-    HasSucc = !Dir.empty();
-  } else if (PSlot + 1 < Dir[PLi].Count) {
-    SLi = PLi;
-    SSlot = PSlot + 1;
-    HasSucc = true;
-  } else if (PLi + 1 < Dir.size()) {
-    SLi = PLi + 1;
-    SSlot = 0;
-    HasSucc = true;
-  } else {
-    HasSucc = false;
-  }
-  Addr SStart = 0, SEnd = 0;
-  if (HasSucc) {
-    SStart = Dir[SLi].L->Starts[SSlot];
-    SEnd = Dir[SLi].L->Ends[SSlot];
-    assert(SStart >= End && "releasing a range that is partly free");
-  }
-
-  bool Left = HasPred && PEnd == Start;
-  bool Right = HasSucc && SStart == End;
-  if (Left && Right) {
-    classRemove(PEnd - PStart);
-    classRemove(SEnd - SStart);
-    Dir[PLi].L->Ends[PSlot] = SEnd;
-    classAdd(SEnd - PStart, PStart);
-    // Erase the successor first: it never precedes the predecessor, so
-    // PLi stays valid; refresh last.
-    eraseSlot(SLi, SSlot);
-    refreshSummary(PLi);
-  } else if (Left) {
-    classRemove(PEnd - PStart);
-    Dir[PLi].L->Ends[PSlot] = End;
-    classAdd(End - PStart, PStart);
-    refreshSummary(PLi);
-  } else if (Right) {
-    classRemove(SEnd - SStart);
-    Dir[SLi].L->Starts[SSlot] = Start;
-    classAdd(SEnd - Start, Start);
-    refreshSummary(SLi);
-  } else {
-    if (HasPred)
-      insertSlot(PLi, PSlot + 1, Start, End);
-    else
-      insertBlock(Start, End);
-    classAdd(Size, Start);
-  }
-}
-
 void FreeSpaceIndex::reserve(Addr Start, uint64_t Size) {
   ScopedTimer Timer(Profiler::SecFreeReserve);
   assert(Size != 0 && "reserving zero words");
   Addr End = Start + Size;
-  size_t Li = leafFor(Start);
-  assert(Li != NoLeaf && "reserve target is not free");
-  Leaf *L = Dir[Li].L;
-  uint32_t Slot = slotUpperBound(*L, Start);
-  assert(Slot != 0 && "leaf lookup missed the containing block");
-  --Slot;
-  Addr BStart = L->Starts[Slot];
-  Addr BEnd = L->Ends[Slot];
-  assert(BStart <= Start && End <= BEnd &&
-         "reserve target is not entirely free");
-  classRemove(BEnd - BStart);
-  bool KeepLow = BStart < Start;
-  bool KeepHigh = End < BEnd;
-  if (KeepLow && KeepHigh) {
-    L->Ends[Slot] = Start;
-    classAdd(Start - BStart, BStart);
-    classAdd(BEnd - End, End);
-    insertSlot(Li, Slot + 1, End, BEnd); // refreshes summaries
-  } else if (KeepLow) {
-    L->Ends[Slot] = Start;
-    classAdd(Start - BStart, BStart);
-    refreshSummary(Li);
-  } else if (KeepHigh) {
-    L->Starts[Slot] = End;
-    classAdd(BEnd - End, End);
-    refreshSummary(Li);
-  } else {
-    eraseSlot(Li, Slot);
+  // The block-count delta is read off the two flanking bits: consuming a
+  // whole block removes one, biting into the middle of one adds one.
+  bool LeftFree = Start != 0 && bitFree(Start - 1);
+  bool RightFree = End < AddrLimit && bitFree(End);
+  if (Start < MaxDenseBits) {
+    Addr DenseEnd = std::min<Addr>(End, MaxDenseBits);
+    ensureDense(DenseEnd);
+    assert(Occ.rangeClear(Start, DenseEnd) && "reserve target is not free");
+    Occ.setRange(Start, DenseEnd);
+    noteReserve(Start, DenseEnd);
   }
+  if (End > MaxDenseBits)
+    highReserve(std::max<Addr>(Start, MaxDenseBits), End);
+  TotalBlocks += size_t(LeftFree) + size_t(RightFree) - 1;
+}
+
+void FreeSpaceIndex::release(Addr Start, uint64_t Size) {
+  ScopedTimer Timer(Profiler::SecFreeRelease);
+  assert(Size != 0 && "releasing zero words");
+  Addr End = Start + Size;
+  bool LeftFree = Start != 0 && bitFree(Start - 1);
+  bool RightFree = End < AddrLimit && bitFree(End);
+  if (Start < MaxDenseBits) {
+    Addr DenseEnd = std::min<Addr>(End, MaxDenseBits);
+    assert(DenseEnd <= capBits() &&
+           "releasing a range that is partly free");
+    assert(Occ.rangeSet(Start, DenseEnd) &&
+           "releasing a range that is partly free");
+    Occ.clearRange(Start, DenseEnd);
+    noteRelease(Start, DenseEnd);
+  }
+  if (End > MaxDenseBits)
+    highRelease(std::max<Addr>(Start, MaxDenseBits), End);
+  TotalBlocks += 1 - size_t(LeftFree) - size_t(RightFree);
+}
+
+//===----------------------------------------------------------------------===//
+// The run scan scaffold
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Enumerates complete maximal free runs over occupancy words
+/// [FromBit, ToBit) (ToBit word-aligned), threading \p Run as the open
+/// run length entering the range. Bits below FromBit in its word are
+/// treated as used, so reported starts are >= FromBit. Returns true when
+/// \p Fn stopped the scan.
+template <typename FnT>
+bool scanWords(const PackedBitmap &Occ, uint64_t FromBit, uint64_t ToBit,
+               uint64_t &Run, FnT &&Fn) {
+  size_t W0 = size_t(FromBit / WordBits), W1 = size_t(ToBit / WordBits);
+  for (size_t WI = W0; WI != W1; ++WI) {
+    uint64_t U = Occ.word(WI);
+    if (WI == W0)
+      U |= lowMask(unsigned(FromBit % WordBits));
+    if (U == 0) {
+      Run += WordBits;
+      continue;
+    }
+    uint64_t Base = uint64_t(WI) * WordBits;
+    // Jump used-run to used-run (see recomputeSuper): iterations scale
+    // with the word's run count, not its popcount.
+    unsigned Prev = 0;
+    uint64_t Used = U;
+    while (Used != 0) {
+      unsigned B = countTrailingZeros(Used);
+      Run += B - Prev;
+      if (Run != 0) {
+        if (Fn(Addr(Base + B - Run), Addr(Base + B)))
+          return true;
+        Run = 0;
+      }
+      uint64_t FreeAbove = ~U & ~lowMask(B);
+      if (FreeAbove == 0) {
+        Prev = WordBits;
+        break;
+      }
+      Prev = countTrailingZeros(FreeAbove);
+      Used = U & ~lowMask(Prev);
+    }
+    Run += WordBits - Prev;
+  }
+  return false;
+}
+
+/// First-fit specialization of the word scan over [FromBit, ToBit)
+/// (ToBit word-aligned, bits below FromBit treated as used): the lowest
+/// block start where \p Size bits fit, or InvalidAddr when the range
+/// ends without one (\p Run then carries the trailing open run). Exits
+/// as soon as the open run reaches \p Size — the block's start is
+/// already determined, its end is irrelevant — and rejects whole words
+/// with one shift-AND chain instead of chopping out their runs.
+Addr scanFirstFit(const PackedBitmap &Occ, uint64_t FromBit, uint64_t ToBit,
+                  uint64_t &Run, uint64_t Size, uint64_t &Probes) {
+  size_t W0 = size_t(FromBit / WordBits), W1 = size_t(ToBit / WordBits);
+  for (size_t WI = W0; WI != W1; ++WI) {
+    uint64_t U = Occ.word(WI);
+    if (WI == W0)
+      U |= lowMask(unsigned(FromBit % WordBits));
+    if (U == 0) {
+      Run += WordBits;
+      if (Run >= Size)
+        return Addr(uint64_t(WI + 1) * WordBits - Run);
+      continue;
+    }
+    uint64_t Base = uint64_t(WI) * WordBits;
+    unsigned T = countTrailingZeros(U);
+    if (Run + T >= Size)
+      return Addr(Base - Run); // the carried run completes here
+    uint64_t F = ~U;
+    if (Size <= WordBits) {
+      // Lowest in-word window of Size free bits; its predecessor bit is
+      // necessarily used (else a lower window existed), so it is a block
+      // start.
+      uint64_t M = runsGE(F, Size);
+      if (M != 0)
+        return Addr(Base + countTrailingZeros(M));
+    }
+    // No fit starts in this word: count its completed runs (ends with a
+    // free predecessor, plus a carried run cut at bit 0) and carry the
+    // free suffix.
+    Probes += popcount64(U & (F << 1)) + uint64_t(Run != 0 && T == 0);
+    Run = WordBits - 1 - topBitIndex(U);
+  }
+  return InvalidAddr;
+}
+
+} // namespace
+
+template <typename FnT>
+bool FreeSpaceIndex::scanSuperFused(size_t I, uint64_t &Run, FnT &&Fn) const {
+  Super &Sp = Sum[I];
+  const uint64_t Base = uint64_t(I) * SuperBits;
+  const uint64_t *W = Occ.words() + I * SuperWords;
+  unsigned Free = 0, MaxRun = 0, Pre = 0, Trans = 0;
+  uint64_t CMask = 0;
+  // LRun is the window-local open run (resets at the window base); Run is
+  // the global carry. They differ only until the first used bit, where
+  // the local length is the window's prefix.
+  uint64_t LRun = 0;
+  bool SeenUsed = false, Stopped = false;
+  for (unsigned WI = 0; WI != SuperWords; ++WI) {
+    const uint64_t U = W[WI];
+    Free += WordBits - popcount64(U);
+    if (U == 0) {
+      Run += WordBits;
+      LRun += WordBits;
+      continue;
+    }
+    uint64_t WBase = Base + uint64_t(WI) * WordBits;
+    unsigned Prev = 0;
+    uint64_t Used = U;
+    while (Used != 0) {
+      unsigned B = countTrailingZeros(Used);
+      Run += B - Prev;
+      LRun += B - Prev;
+      if (Run != 0) {
+        if (!Stopped && Fn(Addr(WBase + B - Run), Addr(WBase + B)))
+          Stopped = true;
+        if (!SeenUsed) {
+          Pre = unsigned(LRun);
+        } else {
+          CMask |= uint64_t(1) << classOf(LRun);
+          ++Trans;
+        }
+        if (LRun > MaxRun)
+          MaxRun = unsigned(LRun);
+      }
+      Run = 0;
+      LRun = 0;
+      SeenUsed = true;
+      uint64_t FreeAbove = ~U & ~lowMask(B);
+      if (FreeAbove == 0) {
+        Prev = WordBits;
+        break;
+      }
+      Prev = countTrailingZeros(FreeAbove);
+      Used = U & ~lowMask(Prev);
+    }
+    Run += WordBits - Prev;
+    LRun += WordBits - Prev;
+  }
+  if (!SeenUsed) {
+    Sp.Pre = Sp.Suf = Sp.Max = uint16_t(SuperBits);
+    Sp.Trans = 0;
+    Sp.FreeCount = uint16_t(SuperBits);
+    Sp.ClassMask = 0;
+    Sp.Dirty = false;
+    return Stopped;
+  }
+  if (LRun != 0) {
+    ++Trans;
+    if (LRun > MaxRun)
+      MaxRun = unsigned(LRun);
+  }
+  Sp.Pre = uint16_t(Pre);
+  Sp.Suf = uint16_t(LRun);
+  Sp.Max = uint16_t(MaxRun);
+  Sp.Trans = uint16_t(Trans);
+  Sp.FreeCount = uint16_t(Free);
+  Sp.ClassMask = CMask;
+  Sp.Dirty = false;
+  return Stopped;
+}
+
+Addr FreeSpaceIndex::firstFitInSuper(size_t I, uint64_t &Run, uint64_t Size,
+                                     uint64_t &Probes) const {
+  // Two passes beat one fused sweep here: most stale descents find their
+  // fit (and exit early), so the hit path runs the lean word scan with no
+  // digest bookkeeping at all; only the no-fit minority pays the second,
+  // digest-banking pass over the same 64 words.
+  const uint64_t Base = uint64_t(I) * SuperBits;
+  Addr Hit = scanFirstFit(Occ, Base, Base + SuperBits, Run, Size, Probes);
+  if (Hit == InvalidAddr)
+    recomputeSuper(I);
+  return Hit;
+}
+
+template <typename DescendT, typename FnT>
+FreeSpaceIndex::ScanEnd FreeSpaceIndex::forEachRun(Addr From, Addr StopBase,
+                                                   DescendT Descend,
+                                                   FnT Fn) const {
+  const uint64_t Cap = capBits();
+  uint64_t Run = 0;
+  if (From < Cap) {
+    size_t SI = size_t(From / SuperBits);
+    if (From % SuperBits != 0) {
+      // Partial first super: word-scan it, then chain from the next one.
+      if (scanWords(Occ, From, uint64_t(SI + 1) * SuperBits, Run, Fn))
+        return {true, 0, 0, false};
+      ++SI;
+    }
+    const size_t NS = Sum.size();
+    size_t StopSI =
+        StopBase >= Cap ? NS : size_t(ceilDiv(StopBase, SuperBits));
+    if (StopSI > NS)
+      StopSI = NS;
+    for (size_t I = SI; I != StopSI; ++I) {
+      const Super &S = Sum[I];
+      uint64_t Base = uint64_t(I) * SuperBits;
+      if (S.FreeCount == SuperBits) {
+        Run += SuperBits;
+        continue;
+      }
+      if (Descend(I, S, Run)) {
+        if (S.Dirty ? scanSuperFused(I, Run, Fn)
+                    : scanWords(Occ, Base, Base + SuperBits, Run, Fn))
+          return {true, 0, 0, false};
+      } else {
+        uint64_t L = Run + S.Pre;
+        if (L != 0 && Fn(Addr(Base + S.Pre - L), Addr(Base + S.Pre)))
+          return {true, 0, 0, false};
+        Run = S.Suf;
+      }
+    }
+    if (StopSI != NS)
+      return {false, Run, Addr(uint64_t(StopSI) * SuperBits), false};
+  } else {
+    // Dense board skipped entirely; reconstruct its trailing free run so
+    // the tail run start is exact.
+    uint64_t Last = Occ.findLastSetBefore(Cap);
+    Run = Last == PackedBitmap::NoBit ? Cap : Cap - (Last + 1);
+  }
+  // Tail: the open run reaches from Cap - Run through the interval map's
+  // gaps to AddrLimit. Runs starting below From were already rejected by
+  // the caller's straddle pre-check, so they are skipped, not clipped.
+  Addr T = Addr(Cap - Run);
+  for (const auto &[IS, IE] : HighUsed) {
+    if (T < IS && T >= From && Fn(T, IS))
+      return {true, 0, 0, true};
+    if (IE > T)
+      T = IE;
+  }
+  if (T < AddrLimit && T >= From && Fn(T, AddrLimit))
+    return {true, 0, 0, true};
+  return {false, 0, AddrLimit, true};
 }
 
 //===----------------------------------------------------------------------===//
@@ -309,15 +590,13 @@ void FreeSpaceIndex::reserve(Addr Start, uint64_t Size) {
 
 bool FreeSpaceIndex::isFree(Addr Start, uint64_t Size) const {
   assert(Size != 0 && "querying zero words");
-  size_t Li = leafFor(Start);
-  if (Li == NoLeaf)
+  Addr End = Start + Size;
+  if (End > AddrLimit)
     return false;
-  const Leaf &L = *Dir[Li].L;
-  uint32_t Slot = slotUpperBound(L, Start);
-  if (Slot == 0)
+  if (Start < capBits() &&
+      !Occ.rangeClear(Start, std::min<Addr>(End, capBits())))
     return false;
-  --Slot;
-  return L.Starts[Slot] <= Start && Start + Size <= L.Ends[Slot];
+  return highRangeFree(Start, End);
 }
 
 Addr FreeSpaceIndex::firstFit(uint64_t Size) const {
@@ -327,95 +606,115 @@ Addr FreeSpaceIndex::firstFit(uint64_t Size) const {
 Addr FreeSpaceIndex::firstFitFrom(Addr From, uint64_t Size) const {
   assert(Size != 0 && "zero-size fit query");
   // A block containing From may serve the request from From onward.
-  if (From != 0) {
-    size_t Li = leafFor(From);
-    if (Li != NoLeaf) {
-      const Leaf &L = *Dir[Li].L;
-      uint32_t Slot = slotUpperBound(L, From);
-      if (Slot != 0 && L.Ends[Slot - 1] > From &&
-          L.Ends[Slot - 1] - From >= Size)
-        return From;
+  if (From != 0 && isFree(From, Size))
+    return From;
+  // This is the hottest query, so it gets a bespoke walk instead of the
+  // generic forEachRun: it exits the moment the carried open run reaches
+  // Size (the run's start is already the answer; scanning to its end
+  // would be wasted work) and judges whole supers from the always-exact
+  // Pre digest before considering a descent.
+  const uint64_t Cap = capBits();
+  uint64_t Run = 0, Probes = 0;
+  Addr Found = InvalidAddr;
+  if (From < Cap) {
+    size_t SI = size_t(From / SuperBits);
+    if (From % SuperBits != 0) {
+      Found =
+          scanFirstFit(Occ, From, uint64_t(SI + 1) * SuperBits, Run, Size,
+                       Probes);
+      ++SI;
     }
-  }
-  // No fitting block can begin before the class cache's hint, so start
-  // the directory walk there; per-leaf MaxSize prunes the rest.
-  Addr ScanFrom = std::max(From, fitScanHint(classOf(Size)));
-  size_t Li = 0;
-  uint32_t Slot = 0;
-  if (ScanFrom != 0) {
-    size_t At = leafFor(ScanFrom);
-    if (At != NoLeaf) {
-      Li = At;
-      Slot = slotLowerBound(*Dir[At].L, ScanFrom);
-    }
-  }
-  uint64_t Probes = 0;
-  for (; Li != Dir.size(); ++Li, Slot = 0) {
-    const LeafMeta &M = Dir[Li];
-    if (M.MaxSize < Size)
-      continue;
-    const Leaf &L = *M.L;
-    for (uint32_t I = Slot; I != M.Count; ++I) {
-      if (L.Ends[I] - L.Starts[I] >= Size) {
-        Profiler::bump(Profiler::CtrFitProbes, Probes);
-        return L.Starts[I];
+    const size_t NS = Sum.size();
+    for (size_t I = SI; Found == InvalidAddr && I != NS; ++I) {
+      const Super &S = Sum[I];
+      uint64_t Base = uint64_t(I) * SuperBits;
+      if (S.FreeCount == SuperBits) {
+        Run += SuperBits;
+        if (Run >= Size)
+          Found = Addr(Base + SuperBits - Run);
+        continue;
       }
-      ++Probes;
+      if (Run + S.Pre >= Size) { // the carried run completes here
+        Found = Addr(Base - Run);
+        break;
+      }
+      if (uint64_t(S.Max) >= Size) {
+        // Max is an upper bound while dirty: a stale pass either finds
+        // the fit (cheap — the sweep stops right there) or banks a clean
+        // digest whose exact Max skips this super until the next
+        // mutation. A stale skip cannot happen. Clean supers promise an
+        // in-window fit (Max is exact), so their scan never wastes a
+        // full sweep.
+        Found = S.Dirty
+                    ? firstFitInSuper(I, Run, Size, Probes)
+                    : scanFirstFit(Occ, Base, Base + SuperBits, Run, Size,
+                                   Probes);
+        continue;
+      }
+      Probes += uint64_t(Run + S.Pre != 0);
+      Run = S.Suf;
     }
+  } else {
+    // Dense board skipped entirely; reconstruct its trailing free run so
+    // the tail run start is exact.
+    uint64_t Last = Occ.findLastSetBefore(Cap);
+    Run = Last == PackedBitmap::NoBit ? Cap : Cap - (Last + 1);
   }
-  assert(false && "infinite tail should always fit");
-  return InvalidAddr;
+  if (Found == InvalidAddr) {
+    // Tail: the open run reaches from Cap - Run through the interval
+    // map's gaps to AddrLimit. Runs starting below From were already
+    // rejected by the straddle pre-check, so they are skipped.
+    Addr T = Addr(Cap - Run);
+    for (const auto &[IS, IE] : HighUsed) {
+      if (T < IS && T >= From) {
+        if (IS - T >= Size) {
+          Found = T;
+          break;
+        }
+        ++Probes;
+      }
+      if (IE > T)
+        T = IE;
+    }
+    if (Found == InvalidAddr && T < AddrLimit && T >= From)
+      Found = T; // the infinite tail always fits
+  }
+  Profiler::bump(Profiler::CtrFitProbes, Probes);
+  assert(Found != InvalidAddr && "infinite tail should always fit");
+  return Found;
 }
 
 Addr FreeSpaceIndex::bestFit(uint64_t Size) const {
   assert(Size != 0 && "zero-size fit query");
-  unsigned K = classOf(Size);
+  const unsigned K = classOf(Size);
   uint64_t BestSize = UINT64_MAX;
-  Addr BestStart = InvalidAddr;
-  // The boundary class holds sizes in [2^K, 2^(K+1)): blocks there fit
-  // iff their exact size does, and any that fits is tighter than every
-  // block of a higher class. The address-ordered scan makes "first block
-  // of the minimal size" the lowest-address tie-break for free.
-  if ((ClassBits >> K) & 1) {
-    for (const LeafMeta &M : Dir) {
-      if (!((M.ClassMask >> K) & 1))
-        continue;
-      const Leaf &L = *M.L;
-      for (uint32_t I = 0; I != M.Count; ++I) {
-        uint64_t BSize = L.Ends[I] - L.Starts[I];
-        if (BSize >= Size && BSize < BestSize && classOf(BSize) == K) {
-          BestSize = BSize;
-          BestStart = L.Starts[I];
-          if (BestSize == Size)
-            return BestStart; // exact fit: nothing can be tighter
+  Addr Best = InvalidAddr;
+  forEachRun(
+      0, AddrLimit,
+      [&](size_t, const Super &S, uint64_t) {
+        // A dirty super is judged by its Max upper bound alone; a clean
+        // one descends only when an interior run could tighten the
+        // incumbent: its class must reach Size's class but not exceed
+        // the incumbent's (floor-log is monotone). Boundary runs are
+        // judged from the always-exact Pre/Suf digests either way.
+        if (S.Dirty)
+          return uint64_t(S.Max) >= Size;
+        unsigned Hi =
+            BestSize == UINT64_MAX ? NumClasses - 1 : classOf(BestSize);
+        return (S.ClassMask & bitRange(K, Hi + 1)) != 0;
+      },
+      [&](Addr S, Addr E) {
+        uint64_t L = E - S;
+        if (L >= Size && L < BestSize) {
+          BestSize = L;
+          Best = S;
+          if (L == Size)
+            return true; // exact fit: nothing can be tighter
         }
-      }
-    }
-  }
-  if (BestStart != InvalidAddr)
-    return BestStart;
-  // Otherwise the tightest fit lives in the lowest non-empty class above
-  // K (its sizes are all smaller than any higher class's).
-  uint64_t Higher = K + 1 < 64 ? ClassBits >> (K + 1) << (K + 1) : 0;
-  assert(Higher != 0 && "infinite tail should always fit");
-  unsigned K2 = unsigned(log2Floor(Higher & -Higher));
-  uint64_t ClassFloor = uint64_t(1) << K2;
-  for (const LeafMeta &M : Dir) {
-    if (!((M.ClassMask >> K2) & 1))
-      continue;
-    const Leaf &L = *M.L;
-    for (uint32_t I = 0; I != M.Count; ++I) {
-      uint64_t BSize = L.Ends[I] - L.Starts[I];
-      if (BSize < BestSize && classOf(BSize) == K2) {
-        BestSize = BSize;
-        BestStart = L.Starts[I];
-        if (BestSize == ClassFloor)
-          return BestStart; // class minimum: nothing can be tighter
-      }
-    }
-  }
-  assert(BestStart != InvalidAddr && "infinite tail should always fit");
-  return BestStart;
+        return false;
+      });
+  assert(Best != InvalidAddr && "infinite tail should always fit");
+  return Best;
 }
 
 Addr FreeSpaceIndex::firstFitAligned(uint64_t Size, uint64_t Align) const {
@@ -423,34 +722,28 @@ Addr FreeSpaceIndex::firstFitAligned(uint64_t Size, uint64_t Align) const {
   assert(isPowerOfTwo(Align) && "alignment must be a power of two");
   // Blocks are disjoint and address-ordered, so the first block (by
   // address) that admits an aligned placement yields the lowest aligned
-  // address overall: a later block's candidate starts past this block's
-  // end. Only blocks of size >= Size can admit one.
-  Addr ScanFrom = fitScanHint(classOf(Size));
-  size_t Li = 0;
-  if (ScanFrom != 0) {
-    size_t At = leafFor(ScanFrom);
-    if (At != NoLeaf)
-      Li = At;
-  }
+  // address overall.
+  Addr Found = InvalidAddr;
   uint64_t Probes = 0;
-  for (; Li != Dir.size(); ++Li) {
-    const LeafMeta &M = Dir[Li];
-    if (M.MaxSize < Size)
-      continue;
-    const Leaf &L = *M.L;
-    for (uint32_t I = 0; I != M.Count; ++I) {
-      if (L.Ends[I] - L.Starts[I] < Size)
-        continue;
-      ++Probes;
-      Addr Aligned = alignUp(L.Starts[I], Align);
-      if (Aligned < L.Ends[I] && L.Ends[I] - Aligned >= Size) {
-        Profiler::bump(Profiler::CtrFitProbes, Probes);
-        return Aligned;
-      }
-    }
-  }
-  assert(false && "infinite tail should always fit");
-  return InvalidAddr;
+  forEachRun(
+      0, AddrLimit,
+      [&](size_t, const Super &S, uint64_t) {
+        return uint64_t(S.Max) >= Size;
+      },
+      [&](Addr S, Addr E) {
+        if (E - S < Size)
+          return false;
+        ++Probes;
+        Addr Aligned = alignUp(S, Align);
+        if (Aligned < E && E - Aligned >= Size) {
+          Found = Aligned;
+          return true;
+        }
+        return false;
+      });
+  Profiler::bump(Profiler::CtrFitProbes, Probes);
+  assert(Found != InvalidAddr && "infinite tail should always fit");
+  return Found;
 }
 
 Addr FreeSpaceIndex::firstFitBelow(uint64_t Size, Addr Limit) const {
@@ -465,53 +758,34 @@ Addr FreeSpaceIndex::worstFitBelow(uint64_t Size, Addr Limit) const {
   assert(Size != 0 && "zero-size fit query");
   Addr Best = InvalidAddr;
   uint64_t BestSpan = 0;
-  for (size_t Li = 0; Li != Dir.size(); ++Li) {
-    const LeafMeta &M = Dir[Li];
-    if (M.FirstStart >= Limit)
-      break;
-    // A clipped span never exceeds the block's size, so a leaf whose
-    // largest block cannot beat the incumbent (strictly — ties keep the
-    // lower address) is skipped whole.
-    if (M.MaxSize < Size || M.MaxSize <= BestSpan)
-      continue;
-    const Leaf &L = *M.L;
-    for (uint32_t I = 0; I != M.Count && L.Starts[I] < Limit; ++I) {
-      uint64_t Span = std::min<Addr>(L.Ends[I], Limit) - L.Starts[I];
-      if (Span >= Size && Span > BestSpan) {
-        BestSpan = Span;
-        Best = L.Starts[I];
-      }
+  ScanEnd End = forEachRun(
+      0, Limit,
+      [&](size_t, const Super &S, uint64_t) {
+        // A clipped span never exceeds the run's length, so a super
+        // whose longest run cannot beat the incumbent (strictly — ties
+        // keep the lower address) is skipped whole.
+        return uint64_t(S.Max) >= std::max<uint64_t>(Size, BestSpan + 1);
+      },
+      [&](Addr S, Addr E) {
+        if (S >= Limit)
+          return true;
+        uint64_t Span = std::min<Addr>(E, Limit) - S;
+        if (Span >= Size && Span > BestSpan) {
+          BestSpan = Span;
+          Best = S;
+        }
+        return false;
+      });
+  if (!End.Stopped && !End.ReachedTail && End.Carry != 0) {
+    // The run left open where the dense walk stopped crosses Limit.
+    Addr S = End.Pos - End.Carry;
+    if (S < Limit) {
+      uint64_t Span = Limit - S;
+      if (Span >= Size && Span > BestSpan)
+        Best = S;
     }
   }
   return Best;
-}
-
-uint64_t FreeSpaceIndex::freeWordsIn(Addr Start, Addr End) const {
-  assert(Start < End && "empty query range");
-  uint64_t Free = 0;
-  size_t Li = 0;
-  uint32_t Slot = 0;
-  if (Start != 0) {
-    size_t At = leafFor(Start);
-    if (At != NoLeaf) {
-      Li = At;
-      // Include the block possibly straddling Start.
-      uint32_t Ub = slotUpperBound(*Dir[At].L, Start);
-      Slot = Ub == 0 ? 0 : Ub - 1;
-    }
-  }
-  for (; Li != Dir.size(); ++Li, Slot = 0) {
-    const Leaf &L = *Dir[Li].L;
-    for (uint32_t I = Slot; I != Dir[Li].Count; ++I) {
-      if (L.Starts[I] >= End)
-        return Free;
-      Addr Lo = std::max<Addr>(L.Starts[I], Start);
-      Addr Hi = std::min<Addr>(L.Ends[I], End);
-      if (Hi > Lo)
-        Free += Hi - Lo;
-    }
-  }
-  return Free;
 }
 
 uint64_t FreeSpaceIndex::freeWordsBelow(Addr Limit) const {
@@ -519,44 +793,130 @@ uint64_t FreeSpaceIndex::freeWordsBelow(Addr Limit) const {
 }
 
 size_t FreeSpaceIndex::numBlocksBelow(Addr Limit) const {
+  if (Limit == 0)
+    return 0;
   size_t N = 0;
-  for (size_t Li = 0; Li != Dir.size(); ++Li) {
-    const LeafMeta &M = Dir[Li];
-    if (M.FirstStart >= Limit)
-      break;
-    // Blocks are disjoint and sorted, so every start in this leaf is
-    // below the next leaf's FirstStart: when that is still below the
-    // limit, the whole leaf counts without touching it.
-    if (Li + 1 != Dir.size() && Dir[Li + 1].FirstStart <= Limit) {
-      N += M.Count;
-      continue;
+  const uint64_t Cap = capBits();
+  bool PrevUsed = true; // virtual used bit before address 0
+  const uint64_t DenseLim = std::min<Addr>(Limit, Cap);
+  const size_t FullSupers = size_t(DenseLim / SuperBits);
+  for (size_t I = 0; I != FullSupers; ++I) {
+    ensureClean(I);
+    const Super &S = Sum[I];
+    bool AllFree = S.FreeCount == SuperBits;
+    bool Bit0Free = AllFree || S.Pre > 0;
+    N += S.Trans + size_t(Bit0Free && PrevUsed);
+    PrevUsed = !AllFree && S.Suf == 0;
+  }
+  uint64_t Pos = uint64_t(FullSupers) * SuperBits;
+  if (Pos < DenseLim) {
+    // Straddling super: count run starts at word level up to the limit.
+    size_t W1 = size_t(ceilDiv(DenseLim, WordBits));
+    for (size_t WI = size_t(Pos / WordBits); WI != W1; ++WI) {
+      uint64_t F = ~Occ.word(WI);
+      uint64_t WordEnd = uint64_t(WI + 1) * WordBits;
+      if (WordEnd > DenseLim)
+        F &= lowMask(unsigned(DenseLim - uint64_t(WI) * WordBits));
+      uint64_t Starts = F & ~((F << 1) | uint64_t(!PrevUsed));
+      N += popcount64(Starts);
+      PrevUsed = (Occ.word(WI) >> 63) & 1;
     }
-    N += slotLowerBound(*M.L, Limit);
-    break;
+  }
+  if (Limit > Cap) {
+    // Runs starting in [Cap, Limit): the tail run (when the dense board
+    // ends used) and the gaps after each interval.
+    Addr T = Cap;
+    bool NewStart = PrevUsed;
+    for (const auto &[IS, IE] : HighUsed) {
+      if (T >= Limit)
+        break;
+      if (T < IS && NewStart)
+        ++N;
+      if (IE > T)
+        T = IE;
+      NewStart = true;
+    }
+    if (T < Limit && T < AddrLimit && NewStart)
+      ++N;
   }
   return N;
 }
 
 uint64_t FreeSpaceIndex::largestBlockBelow(Addr Limit) const {
   uint64_t Best = 0;
-  for (size_t Li = 0; Li != Dir.size(); ++Li) {
-    const LeafMeta &M = Dir[Li];
-    if (M.FirstStart >= Limit)
-      break;
-    // Clipping never grows a span, so a leaf whose largest block does not
-    // beat the incumbent is skipped whole.
-    if (M.MaxSize <= Best)
-      continue;
-    const Leaf &L = *M.L;
-    if (L.Ends[M.Count - 1] <= Limit) {
-      // Wholly below the limit: clipping is the identity.
-      Best = M.MaxSize;
-      continue;
-    }
-    for (uint32_t I = 0; I != M.Count && L.Starts[I] < Limit; ++I) {
-      uint64_t Span = std::min<Addr>(L.Ends[I], Limit) - L.Starts[I];
-      Best = std::max(Best, Span);
-    }
+  ScanEnd End = forEachRun(
+      0, Limit,
+      [&](size_t, const Super &S, uint64_t) {
+        return uint64_t(S.Max) > Best;
+      },
+      [&](Addr S, Addr E) {
+        if (S >= Limit)
+          return true;
+        Best = std::max<uint64_t>(Best, std::min<Addr>(E, Limit) - S);
+        return false;
+      });
+  if (!End.Stopped && !End.ReachedTail && End.Carry != 0) {
+    Addr S = End.Pos - End.Carry;
+    if (S < Limit)
+      Best = std::max<uint64_t>(Best, Limit - S);
   }
   return Best;
+}
+
+void FreeSpaceIndex::occupancyWords(Addr Start, size_t Count,
+                                    uint64_t *Out) const {
+  Occ.extract(Start, Count, Out);
+  if (HighUsed.empty())
+    return;
+  Addr End = Start + uint64_t(Count) * WordBits;
+  auto It = HighUsed.upper_bound(Start);
+  if (It != HighUsed.begin())
+    --It;
+  for (; It != HighUsed.end() && It->first < End; ++It) {
+    Addr Lo = std::max(It->first, Start), Hi = std::min(It->second, End);
+    if (Hi <= Lo)
+      continue;
+    size_t W0 = size_t((Lo - Start) / WordBits);
+    size_t W1 = size_t((Hi - Start - 1) / WordBits);
+    for (size_t WI = W0; WI <= W1; ++WI) {
+      Addr WBase = Start + uint64_t(WI) * WordBits;
+      unsigned BLo = Lo > WBase ? unsigned(Lo - WBase) : 0;
+      unsigned BHi =
+          Hi < WBase + WordBits ? unsigned(Hi - WBase) : WordBits;
+      Out[WI] |= bitRange(BLo, BHi);
+    }
+  }
+}
+
+std::pair<Addr, Addr> FreeSpaceIndex::nextFreeRun(Addr Pos) const {
+  const uint64_t Cap = capBits();
+  if (Pos < Cap) {
+    uint64_t S = Occ.findFirstClear(Pos);
+    if (S < Cap) {
+      uint64_t E = Occ.findFirstSet(S);
+      if (E != PackedBitmap::NoBit)
+        return {Addr(S), Addr(E)};
+      // The run reaches the end of the board: it extends through the
+      // tail to the first interval (or forever).
+      Addr TailEnd =
+          HighUsed.empty() ? AddrLimit : HighUsed.begin()->first;
+      return {Addr(S), TailEnd};
+    }
+    Pos = Addr(S); // == Cap: the dense board is fully used past Pos
+  }
+  // First free run with start >= Pos among the interval map's gaps.
+  Addr T = Pos;
+  auto It = HighUsed.upper_bound(T);
+  if (It != HighUsed.begin() && std::prev(It)->second > T)
+    T = std::prev(It)->second;
+  for (;;) {
+    if (T >= AddrLimit)
+      return {InvalidAddr, InvalidAddr};
+    auto Next = HighUsed.lower_bound(T);
+    if (Next == HighUsed.end())
+      return {T, AddrLimit};
+    if (Next->first > T)
+      return {T, Next->first};
+    T = Next->second;
+  }
 }

@@ -6,31 +6,36 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Maintains the complement of the used space — the free blocks — with the
-/// placement queries the memory-manager policies need: first fit, best
-/// fit, next fit (first fit from a cursor), aligned first fit, and worst
-/// fit below a limit.
+/// Placement queries over the free space — first fit, best fit, next fit,
+/// aligned first fit, worst fit below a limit, plus the aggregate queries
+/// the telemetry samples — computed directly from a packed occupancy
+/// bitboard rather than a second interval structure kept in sync with the
+/// heap.
 ///
-/// The index is a flat, cache-friendly structure: free blocks live in
-/// fixed-capacity leaves (sorted arrays of [start, end) runs in address
-/// order), and a contiguous directory of per-leaf summaries — first
-/// start, largest block size, bitmask of size classes present — lets
-/// every query skip whole leaves with sequential scans instead of
-/// pointer-chasing node-based containers. A 61-entry size-class summary
-/// (presence bitmask, per-class block counts, and a per-class min-address
-/// cache) turns first-fit queries into "binary-search near the answer,
-/// then scan a couple of cache lines".
+/// The index owns one bit per committed word (1 = used); a free block is
+/// a maximal zero run. Mutations (reserve/release) are now plain masked
+/// word stores, and every query is a summary-guided scan: the bitmap is
+/// grouped into 4096-bit supers, each with a lazily recomputed digest
+/// (free-bit count, prefix/suffix/max zero-run lengths, run-start count,
+/// and a size-class mask of its interior runs) that lets scans skip whole
+/// supers and assemble runs spanning supers from prefix/suffix arithmetic
+/// alone. Free blocks are never materialized; they are *views* of the
+/// occupancy words, so the index cannot drift from the heap.
 ///
-/// Semantics are identical to the original map/multimap/set-based
-/// implementation (kept as ReferenceFreeSpaceIndex in the test-support
-/// library and cross-checked continuously by the equivalence property
-/// test and the differential fuzzer's index-parity oracle): all
-/// tie-breaks resolve to the lowest address, and the aggregate queries
-/// numBlocksBelow / largestBlockBelow stay exact for the telemetry layer.
+/// The bitmap covers only the committed prefix of the 2^60-word address
+/// space; everything above is implicitly free (the model's infinite
+/// tail), except for objects explicitly placed beyond the maximum dense
+/// capacity, which live in a tiny sorted interval map (a cold path that
+/// exists for address-space-boundary semantics, e.g. a placement ending
+/// exactly at AddrLimit).
 ///
-/// The heap model is unbounded above (up to AddrLimit); the index always
-/// holds a final "tail" block reaching AddrLimit, so placement queries
-/// never fail.
+/// Semantics are identical to the previous interval implementations —
+/// the original node-based ReferenceFreeSpaceIndex and the flat leaf
+/// structure it replaced (preserved as testsupport/FlatFreeSpaceIndex)
+/// are both cross-checked continuously by the equivalence property test
+/// and the differential fuzzer's heap-parity oracle. All tie-breaks
+/// resolve to the lowest address, and numBlocksBelow / largestBlockBelow
+/// stay exact for the telemetry layer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,38 +43,19 @@
 #define PCBOUND_HEAP_FREESPACEINDEX_H
 
 #include "heap/HeapTypes.h"
+#include "heap/PackedBitmap.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
-#include <memory>
+#include <map>
 #include <utility>
 #include <vector>
 
 namespace pcb {
 
-/// Address- and size-indexed free blocks with placement queries.
+/// Free-space placement queries as views of a packed occupancy bitboard.
 class FreeSpaceIndex {
-  /// A sorted run of free blocks. Starts/Ends are parallel arrays so the
-  /// address binary searches touch only the Starts cache lines.
-  struct Leaf {
-    static constexpr uint32_t Cap = 64;
-    uint32_t Count = 0;
-    Addr Starts[Cap];
-    Addr Ends[Cap];
-  };
-
-  /// Directory entry: the per-leaf summary the query scans read. Kept
-  /// contiguous (and redundant with the leaf) so pruning a leaf costs one
-  /// sequential cache line, not a pointer chase.
-  struct LeafMeta {
-    Addr FirstStart;    ///< == L->Starts[0]
-    uint64_t MaxSize;   ///< largest block size in the leaf
-    uint64_t ClassMask; ///< bit K set iff the leaf holds a class-K block
-    uint32_t Count;     ///< == L->Count
-    Leaf *L;
-  };
-
 public:
   /// Initializes with the whole address space [0, AddrLimit) free.
   FreeSpaceIndex();
@@ -112,27 +98,51 @@ public:
   /// block exists. This is classic worst fit over the committed heap.
   Addr worstFitBelow(uint64_t Size, Addr Limit) const;
 
-  /// Number of free blocks (including the infinite tail).
+  /// Number of free blocks (including the infinite tail). Maintained
+  /// incrementally: a mutation learns the block-count delta from the two
+  /// occupancy bits flanking its range.
   size_t numBlocks() const { return TotalBlocks; }
 
   /// Free words below \p Limit.
   uint64_t freeWordsBelow(Addr Limit) const;
 
-  /// Free words within [Start, End).
-  uint64_t freeWordsIn(Addr Start, Addr End) const;
+  /// Free words within [Start, End). Inline: the compactors probe this
+  /// once per candidate chunk, so the dense popcount path must not pay a
+  /// call or touch the (almost always empty) interval map.
+  uint64_t freeWordsIn(Addr Start, Addr End) const {
+    assert(Start < End && "empty query range");
+    uint64_t UsedDense =
+        Start < capBits()
+            ? Occ.popcountRange(Start, std::min<Addr>(End, capBits()))
+            : 0;
+    uint64_t UsedHigh = HighUsed.empty() ? 0 : highUsedWordsIn(Start, End);
+    return (End - Start) - UsedDense - UsedHigh;
+  }
 
-  /// Number of free blocks that begin below \p Limit. O(leaves): whole
-  /// leaves are counted from the directory, only the straddling leaf is
-  /// binary-searched.
+  /// Number of free blocks that begin below \p Limit. O(supers): whole
+  /// supers answer from their run-start digests, only the super
+  /// straddling \p Limit is scanned at word level.
   size_t numBlocksBelow(Addr Limit) const;
 
   /// Largest free run clipped to [0, Limit): the maximum over blocks
-  /// starting below \p Limit of min(end, Limit) - start. O(leaves):
-  /// leaves wholly below the limit answer from their MaxSize summary;
-  /// only the leaf straddling \p Limit is scanned.
+  /// starting below \p Limit of min(end, Limit) - start. O(supers):
+  /// supers that cannot beat the incumbent are skipped via their max-run
+  /// digest.
   uint64_t largestBlockBelow(Addr Limit) const;
 
+  /// Word \p I of the occupancy board (bit j = address 64 * I + j,
+  /// 1 = used); words beyond the committed prefix are zero. This is the
+  /// raw substrate Heap's mask queries expose.
+  uint64_t occupancyWord(uint64_t I) const {
+    return I < Occ.sizeWords() ? Occ.word(size_t(I)) : highOccupancyWord(I);
+  }
+
+  /// Copies the occupancy of [Start, Start + 64 * Count) into \p Out as
+  /// packed words; arbitrary Start.
+  void occupancyWords(Addr Start, size_t Count, uint64_t *Out) const;
+
   /// Forward iteration over (start, end) free blocks in address order.
+  /// Blocks are materialized lazily by scanning the board.
   class const_iterator {
   public:
     using value_type = std::pair<Addr, Addr>;
@@ -141,14 +151,15 @@ public:
     using difference_type = std::ptrdiff_t;
     using iterator_category = std::forward_iterator_tag;
 
-    value_type operator*() const {
-      const Leaf *L = (*Dir)[Li].L;
-      return {L->Starts[Slot], L->Ends[Slot]};
-    }
+    value_type operator*() const { return {S, E}; }
     const_iterator &operator++() {
-      if (++Slot == (*Dir)[Li].Count) {
-        ++Li;
-        Slot = 0;
+      if (E >= AddrLimit) {
+        S = InvalidAddr;
+        E = InvalidAddr;
+      } else {
+        auto [NS, NE] = Owner->nextFreeRun(E);
+        S = NS;
+        E = NE;
       }
       return *this;
     }
@@ -157,80 +168,151 @@ public:
       ++*this;
       return Old;
     }
-    bool operator==(const const_iterator &O) const {
-      return Li == O.Li && Slot == O.Slot;
-    }
+    bool operator==(const const_iterator &O) const { return S == O.S; }
     bool operator!=(const const_iterator &O) const { return !(*this == O); }
 
   private:
     friend class FreeSpaceIndex;
-    const_iterator(const std::vector<LeafMeta> *Dir, size_t Li,
-                   uint32_t Slot)
-        : Dir(Dir), Li(Li), Slot(Slot) {}
+    const_iterator(const FreeSpaceIndex *Owner, Addr S, Addr E)
+        : Owner(Owner), S(S), E(E) {}
 
-    const std::vector<LeafMeta> *Dir;
-    size_t Li;
-    uint32_t Slot;
+    const FreeSpaceIndex *Owner;
+    Addr S, E;
   };
 
-  const_iterator begin() const { return const_iterator(&Dir, 0, 0); }
+  const_iterator begin() const {
+    auto [S, E] = nextFreeRun(0);
+    return const_iterator(this, S, E);
+  }
   const_iterator end() const {
-    return const_iterator(&Dir, Dir.size(), 0);
+    return const_iterator(this, InvalidAddr, InvalidAddr);
   }
 
 private:
-  static constexpr size_t NoLeaf = size_t(-1);
+  /// Digest granularity: 64 words = 4096 bits per super.
+  static constexpr unsigned SuperWords = 64;
+  static constexpr unsigned SuperBits = SuperWords * WordBits;
+  /// Dense-bitmap ceiling: 2^26 bits (an 8 MiB board). Reservations
+  /// ending beyond it go to the sorted interval map instead.
+  static constexpr uint64_t MaxDenseBits = uint64_t(1) << 26;
   static constexpr unsigned NumClasses = 61;
+
+  /// Per-super digest. FreeCount, Pre and Suf are maintained exactly by
+  /// every mutation (O(1) for reserve, a window-bounded bit scan for
+  /// release), so run assembly across skipped supers never recomputes
+  /// anything. Max degrades to a sound *upper bound* while Dirty (a
+  /// reserve can only shrink runs; a release folds its merged run in), so
+  /// it still filters descents — a stale pass costs one recompute, a
+  /// stale skip cannot happen. Trans and ClassMask are only valid when
+  /// clean; the queries that need them (numBlocksBelow, bestFit)
+  /// recompute on the way. A fully free super has FreeCount == SuperBits
+  /// (and canonical Pre = Suf = Max = SuperBits, Trans = 0,
+  /// ClassMask = 0, Dirty = false).
+  struct Super {
+    uint16_t Pre = 0;      ///< leading free bits (always exact)
+    uint16_t Suf = 0;      ///< trailing free bits (always exact)
+    uint16_t Max = 0;      ///< longest free run (upper bound while Dirty)
+    uint16_t Trans = 0;    ///< free runs starting at an interior position
+    uint16_t FreeCount = 0;///< free bits in the window (always exact)
+    bool Dirty = false;
+    uint64_t ClassMask = 0;///< classes of runs interior to the window
+  };
 
   /// Size class of a block: floor(log2(size)). Class K holds sizes in
   /// [2^K, 2^(K+1)).
   static unsigned classOf(uint64_t Size);
 
-  /// Index of the last leaf whose FirstStart is <= \p A, or NoLeaf.
-  size_t leafFor(Addr A) const;
+  /// Where a run scan ended when no callback stopped it: the open run of
+  /// \p Carry free bits ending at \p Pos (a super boundary), or the tail
+  /// walk completed (\p ReachedTail).
+  struct ScanEnd {
+    bool Stopped;
+    uint64_t Carry;
+    Addr Pos;
+    bool ReachedTail;
+  };
 
-  /// First slot in \p L whose start is > \p A.
-  static uint32_t slotUpperBound(const Leaf &L, Addr A);
-  /// First slot in \p L whose start is >= \p A.
-  static uint32_t slotLowerBound(const Leaf &L, Addr A);
+  /// Walks the complete maximal free runs with start >= \p From in
+  /// address order, including the final tail run ending at AddrLimit.
+  /// \p Fn(S, E) returns true to stop. \p Descend(I, Sup, CarryIn)
+  /// decides whether super \p I is scanned at word level; when it
+  /// declines, only the boundary run completing at the super's prefix is
+  /// reported (from the always-exact Pre/Suf digests), so Descend must
+  /// return true whenever an interior run of the super could interest Fn
+  /// (it may recompute the digest itself to decide). Supers whose base
+  /// is >= \p StopBase are not entered (the dense walk ends there).
+  template <typename DescendT, typename FnT>
+  ScanEnd forEachRun(Addr From, Addr StopBase, DescendT Descend,
+                     FnT Fn) const;
 
-  /// Recomputes Dir[Li]'s FirstStart/MaxSize/ClassMask/Count from the
-  /// leaf. O(leaf size) — a couple of cache lines.
-  void refreshSummary(size_t Li);
+  /// Committed bits of the dense board (== Occ.sizeBits()).
+  uint64_t capBits() const { return Occ.sizeBits(); }
 
-  /// Inserts block [S, E) at \p Slot of leaf \p Li, splitting the leaf
-  /// when full; refreshes affected summaries.
-  void insertSlot(size_t Li, uint32_t Slot, Addr S, Addr E);
+  /// Grows the dense board (in whole supers) to cover [0, NeedBits).
+  /// Split so the almost-always-true capacity check inlines into the
+  /// mutation hot path.
+  void ensureDense(uint64_t NeedBits) {
+    if (NeedBits > capBits())
+      growDense(NeedBits);
+  }
+  void growDense(uint64_t NeedBits);
 
-  /// Erases the block at \p Slot of leaf \p Li, dropping the leaf when it
-  /// becomes empty; refreshes the summary otherwise.
-  void eraseSlot(size_t Li, uint32_t Slot);
+  /// Digest maintenance for a mutation of dense range [S, E):
+  /// noteReserve before any query sees the super again, noteRelease after
+  /// the bits have been cleared (it scans the merged run's extent).
+  void noteReserve(uint64_t S, uint64_t E);
+  void noteRelease(uint64_t S, uint64_t E);
 
-  /// Inserts a block with no free neighbours (used by the constructor and
-  /// the no-coalesce release path).
-  void insertBlock(Addr S, Addr E);
+  /// One fused pass over super \p I's words: reports complete free runs
+  /// to \p Fn (threading \p Run as the open-run carry, exactly like the
+  /// plain word scan) while rebuilding the digest as a side effect, so a
+  /// descent into a dirty super costs a single sweep instead of
+  /// recompute-then-rescan. The sweep always runs to the super's end
+  /// (the digest needs it); once Fn stops, remaining runs feed only the
+  /// digest. Returns true when Fn stopped.
+  template <typename FnT>
+  bool scanSuperFused(size_t I, uint64_t &Run, FnT &&Fn) const;
 
-  /// Size-class accounting: every block is in exactly one class.
-  void classAdd(uint64_t Size, Addr Start);
-  void classRemove(uint64_t Size);
+  /// First-fit sweep of dirty super \p I: returns the lowest block start
+  /// where \p Size bits fit (exiting immediately — the digest stays
+  /// dirty, nothing was wasted), or InvalidAddr after sweeping the whole
+  /// window, in which case the digest is banked clean as a side effect
+  /// (so the super's now-exact Max skips it until the next mutation).
+  Addr firstFitInSuper(size_t I, uint64_t &Run, uint64_t Size,
+                       uint64_t &Probes) const;
 
-  /// Lowest address any block of size >= \p Size could start at, from the
-  /// per-class min-address cache (a conservative lower bound; exact again
-  /// each time a class empties). AddrLimit when no class could fit.
-  Addr fitScanHint(unsigned MinClass) const;
+  /// Recomputes Sum[I] from the occupancy words if dirty.
+  void ensureClean(size_t I) const;
+  void recomputeSuper(size_t I) const;
 
-  Leaf *newLeaf();
-  void recycleLeaf(Leaf *L);
+  /// True when address \p A (anywhere in [0, AddrLimit)) is free.
+  bool bitFree(Addr A) const {
+    if (A < capBits())
+      return !Occ.test(A);
+    return HighUsed.empty() || highRangeFree(A, A + 1);
+  }
 
-  std::vector<LeafMeta> Dir;                ///< leaf directory, address order
-  std::vector<std::unique_ptr<Leaf>> Pool;  ///< owns every leaf ever made
-  std::vector<Leaf *> FreeLeaves;           ///< recycled leaves
-  size_t TotalBlocks = 0;
+  /// Used words of the interval map intersecting [S, E).
+  uint64_t highUsedWordsIn(Addr S, Addr E) const;
+  /// True when [S, E) misses every interval of the map.
+  bool highRangeFree(Addr S, Addr E) const;
+  /// Occupancy word \p I synthesized from the interval map.
+  uint64_t highOccupancyWord(uint64_t I) const;
 
-  /// 61-entry size-class summary.
-  uint64_t ClassBits = 0;             ///< bit K set iff ClassCount[K] > 0
-  uint32_t ClassCount[NumClasses] = {};
-  Addr ClassMin[NumClasses];          ///< lower bound on min start per class
+  /// The maximal free run with the lowest start >= \p Pos (iterator
+  /// plumbing; \p Pos must not be interior to a free run).
+  std::pair<Addr, Addr> nextFreeRun(Addr Pos) const;
+
+  /// Reserve/release of the interval-map region.
+  void highReserve(Addr S, Addr E);
+  void highRelease(Addr S, Addr E);
+
+  PackedBitmap Occ;                ///< 1 = used, dense prefix only
+  mutable std::vector<Super> Sum;  ///< one digest per super, lazy
+  /// Used intervals at or above MaxDenseBits, keyed by start; disjoint
+  /// and coalesced (no two touching intervals).
+  std::map<Addr, Addr> HighUsed;
+  size_t TotalBlocks = 1;
 };
 
 } // namespace pcb

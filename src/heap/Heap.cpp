@@ -15,6 +15,58 @@
 
 using namespace pcb;
 
+void Heap::noteStart(Addr Address, ObjectId Id) {
+  if (Address < DenseLimit) {
+    if (Address >= StartBits.sizeBits()) {
+      size_t Need = size_t(Address / WordBits) + 1;
+      StartBits.growWords(std::max(Need, StartBits.sizeWords() * 2));
+      IdAt.resize(size_t(StartBits.sizeBits()), InvalidObjectId);
+    }
+    StartBits.set(Address);
+    IdAt[size_t(Address)] = Id;
+    return;
+  }
+  HighObjects[Address] = Id;
+}
+
+void Heap::forgetStart(Addr Address) {
+  if (Address < DenseLimit) {
+    StartBits.clear(Address);
+    return;
+  }
+  HighObjects.erase(Address);
+}
+
+ObjectId Heap::idStartingAt(Addr Address) const {
+  if (Address < DenseLimit) {
+    assert(StartBits.test(Address) && "no object starts here");
+    return IdAt[size_t(Address)];
+  }
+  auto It = HighObjects.find(Address);
+  assert(It != HighObjects.end() && "no object starts here");
+  return It->second;
+}
+
+Addr Heap::lastStartBefore(Addr Limit) const {
+  if (Limit > DenseLimit && !HighObjects.empty()) {
+    auto It = HighObjects.lower_bound(Limit);
+    if (It != HighObjects.begin())
+      return std::prev(It)->first;
+  }
+  uint64_t B = StartBits.findLastSetBefore(std::min<Addr>(Limit, DenseLimit));
+  return B == PackedBitmap::NoBit ? InvalidAddr : Addr(B);
+}
+
+ObjectId Heap::firstLiveAt(Addr A) const {
+  if (A < DenseLimit) {
+    uint64_t B = StartBits.findFirstSet(A);
+    if (B != PackedBitmap::NoBit)
+      return IdAt[size_t(B)];
+  }
+  auto It = HighObjects.lower_bound(A);
+  return It == HighObjects.end() ? InvalidObjectId : It->second;
+}
+
 ObjectId Heap::place(Addr Address, uint64_t Size) {
   ScopedTimer Timer(Profiler::SecHeapPlace);
   assert(Size != 0 && "zero-size object");
@@ -23,7 +75,7 @@ ObjectId Heap::place(Addr Address, uint64_t Size) {
 
   ObjectId Id = ObjectId(Objects.size());
   Objects.push_back(Object{Address, Size, ObjectState::Live});
-  LiveByAddr[Address] = Id;
+  noteStart(Address, Id);
 
   Stats.TotalAllocatedWords += Size;
   Stats.LiveWords += Size;
@@ -40,7 +92,7 @@ void Heap::free(ObjectId Id) {
   assert(isLive(Id) && "freeing a dead or unknown object");
   Object &O = Objects[Id];
   Free.release(O.Address, O.Size);
-  LiveByAddr.erase(O.Address);
+  forgetStart(O.Address);
   O.State = ObjectState::Freed;
   Stats.LiveWords -= O.Size;
   ++Stats.NumFrees;
@@ -58,8 +110,8 @@ void Heap::move(ObjectId Id, Addr NewAddress) {
   // every *other* object.
   Free.release(O.Address, O.Size);
   Free.reserve(NewAddress, O.Size);
-  LiveByAddr.erase(O.Address);
-  LiveByAddr[NewAddress] = Id;
+  forgetStart(O.Address);
+  noteStart(NewAddress, Id);
   Addr OldAddress = O.Address;
   O.Address = NewAddress;
   Stats.MovedWords += O.Size;
@@ -67,11 +119,6 @@ void Heap::move(ObjectId Id, Addr NewAddress) {
   ++Stats.NumMoves;
   if (OnEvent)
     OnEvent(HeapEvent::move(Id, OldAddress, NewAddress, O.Size));
-}
-
-uint64_t Heap::usedWordsIn(Addr Start, uint64_t Size) const {
-  assert(Size != 0 && "empty query range");
-  return Size - Free.freeWordsIn(Start, Start + Size);
 }
 
 bool Heap::checkConsistency(std::string *Why) const {
@@ -84,7 +131,9 @@ bool Heap::checkConsistency(std::string *Why) const {
   uint64_t LiveCount = 0;
   Addr PrevEnd = 0;
   uint64_t MaxEnd = 0;
-  for (const auto &[Address, Id] : LiveByAddr) {
+  // Walk the start index in address order: dense board first, then the
+  // fallback map (its keys are all >= DenseLimit, above every dense bit).
+  auto CheckOne = [&](Addr Address, ObjectId Id) {
     if (Id >= Objects.size())
       return Fail("address index names an unknown object id " +
                   std::to_string(Id));
@@ -104,7 +153,15 @@ bool Heap::checkConsistency(std::string *Why) const {
     MaxEnd = std::max(MaxEnd, uint64_t(O.end()));
     LiveWords += O.Size;
     ++LiveCount;
-  }
+    return true;
+  };
+  for (uint64_t B = StartBits.findFirstSet(0); B != PackedBitmap::NoBit;
+       B = StartBits.findFirstSet(B + 1))
+    if (!CheckOne(Addr(B), IdAt[size_t(B)]))
+      return false;
+  for (const auto &[Address, Id] : HighObjects)
+    if (!CheckOne(Address, Id))
+      return false;
   // Every live object appears in the index; no dead object does.
   uint64_t TableLive = 0;
   for (const Object &O : Objects)
@@ -129,8 +186,10 @@ bool Heap::checkConsistency(std::string *Why) const {
 
 std::vector<ObjectId> Heap::liveObjects() const {
   std::vector<ObjectId> Ids;
-  Ids.reserve(LiveByAddr.size());
-  for (const auto &[Address, Id] : LiveByAddr) {
+  for (uint64_t B = StartBits.findFirstSet(0); B != PackedBitmap::NoBit;
+       B = StartBits.findFirstSet(B + 1))
+    Ids.push_back(IdAt[size_t(B)]);
+  for (const auto &[Address, Id] : HighObjects) {
     (void)Address;
     Ids.push_back(Id);
   }
@@ -139,40 +198,58 @@ std::vector<ObjectId> Heap::liveObjects() const {
 
 uint64_t Heap::occupancyMask(unsigned Count) const {
   assert(Count <= 64 && "mask covers at most 64 words");
-  uint64_t Occ = 0;
-  for (const auto &[Address, Id] : LiveByAddr) {
-    if (Address >= Count)
-      break;
-    uint64_t End = std::min<uint64_t>(Objects[Id].end(), Count);
-    for (uint64_t A = Address; A < End; ++A)
-      Occ |= uint64_t(1) << A;
-  }
-  return Occ;
+  uint64_t Occ;
+  occupancyWords(0, 1, &Occ);
+  return Occ & lowMask(Count);
 }
 
 uint64_t Heap::objectStartMask(unsigned Count) const {
   assert(Count <= 64 && "mask covers at most 64 words");
-  uint64_t Starts = 0;
-  for (const auto &[Address, Id] : LiveByAddr) {
-    (void)Id;
-    if (Address >= Count)
-      break;
-    Starts |= uint64_t(1) << Address;
+  uint64_t Starts;
+  objectStartWords(0, 1, &Starts);
+  return Starts & lowMask(Count);
+}
+
+void Heap::occupancyWords(Addr Start, size_t Count, uint64_t *Out) const {
+  Free.occupancyWords(Start, Count, Out);
+}
+
+void Heap::objectStartWords(Addr Start, size_t Count, uint64_t *Out) const {
+  StartBits.extract(Start, Count, Out);
+  if (HighObjects.empty())
+    return;
+  Addr End = Start + uint64_t(Count) * WordBits;
+  for (auto It = HighObjects.lower_bound(Start);
+       It != HighObjects.end() && It->first < End; ++It) {
+    uint64_t Off = It->first - Start;
+    Out[size_t(Off / WordBits)] |= uint64_t(1) << (Off % WordBits);
   }
-  return Starts;
 }
 
 std::vector<ObjectId> Heap::liveObjectsIn(Addr Start, uint64_t Size) const {
   Addr End = Start + Size;
   std::vector<ObjectId> Ids;
-  auto It = LiveByAddr.upper_bound(Start);
-  // An object starting before the range may still reach into it.
-  if (It != LiveByAddr.begin()) {
-    auto Prev = std::prev(It);
-    if (Objects[Prev->second].end() > Start)
-      Ids.push_back(Prev->second);
+  // An object starting before the range may still reach into it; it
+  // exists iff the word at Start is used but carries no start bit there.
+  if (Start != 0 && !Free.isFree(Start, 1)) {
+    bool StartsHere = Start < DenseLimit
+                          ? StartBits.testZeroExtended(Start)
+                          : HighObjects.count(Start) != 0;
+    if (!StartsHere) {
+      Addr Prev = lastStartBefore(Start);
+      assert(Prev != InvalidAddr && "used word with no covering object");
+      ObjectId Id = idStartingAt(Prev);
+      if (Objects[Id].end() > Start)
+        Ids.push_back(Id);
+    }
   }
-  for (; It != LiveByAddr.end() && It->first < End; ++It)
+  if (Start < DenseLimit)
+    for (uint64_t B = StartBits.findFirstSet(Start);
+         B != PackedBitmap::NoBit && B < End;
+         B = StartBits.findFirstSet(B + 1))
+      Ids.push_back(IdAt[size_t(B)]);
+  for (auto It = HighObjects.lower_bound(std::max<Addr>(Start, DenseLimit));
+       It != HighObjects.end() && It->first < End; ++It)
     Ids.push_back(It->second);
   return Ids;
 }

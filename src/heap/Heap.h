@@ -11,6 +11,16 @@
 /// top of this model; they decide *where* to place or move objects, the
 /// Heap validates and records it.
 ///
+/// Address-ordered lookups run on a packed object-start bitboard (bit i
+/// set iff a live object starts at address i) paired with a flat
+/// address -> id table, replacing the former std::map over live objects.
+/// Occupancy itself is not duplicated: the FreeSpaceIndex's occupancy
+/// board is the one copy, and Heap's mask/bitboard queries read it
+/// directly, so the object table and the free space cannot disagree about
+/// which words are used. Starts beyond the dense board's ceiling (a cold
+/// path for address-space-boundary placements) fall back to a small
+/// sorted map.
+///
 /// Footprint semantics follow the paper: the heap is the smallest
 /// consecutive address prefix the manager ever touches, so the heap size
 /// HS(A, P) is the historical maximum of (highest used address + 1). Once
@@ -32,6 +42,7 @@
 #include "heap/FreeSpaceIndex.h"
 #include "heap/HeapEvent.h"
 #include "heap/HeapTypes.h"
+#include "heap/PackedBitmap.h"
 
 #include <cassert>
 #include <cstdint>
@@ -98,8 +109,12 @@ public:
   /// Placement queries over the free space.
   const FreeSpaceIndex &freeSpace() const { return Free; }
 
-  /// Live words occupying [Start, Start + Size).
-  uint64_t usedWordsIn(Addr Start, uint64_t Size) const;
+  /// Live words occupying [Start, Start + Size). Inline: the compactors
+  /// call this once per candidate chunk scan.
+  uint64_t usedWordsIn(Addr Start, uint64_t Size) const {
+    assert(Size != 0 && "empty query range");
+    return Size - Free.freeWordsIn(Start, Start + Size);
+  }
 
   /// True if [Start, Start + Size) contains no live object words.
   bool isFree(Addr Start, uint64_t Size) const {
@@ -115,8 +130,8 @@ public:
   }
 
   /// Full structural self-check: live objects are disjoint, the free
-  /// index is exactly their complement, the live-by-address index agrees,
-  /// and the statistics match a recount. O(objects + free blocks); meant
+  /// index is exactly their complement, the start-bit index agrees, and
+  /// the statistics match a recount. O(objects + free blocks); meant
   /// for tests and the fuzzing oracle. When \p Why is non-null and the
   /// check fails, it receives a one-line diagnosis of the first
   /// inconsistency found.
@@ -128,32 +143,61 @@ public:
   /// Occupancy bitboard of the first \p Count (<= 64) words: bit i is set
   /// iff address i is covered by a live object. Canonicalization hook for
   /// the exact game solver (src/exact/), whose states are exactly such
-  /// boards — witness replays cross-check the real heap against the
-  /// solver's layout after every event. O(live objects).
+  /// boards. For wider prefixes use occupancyWords.
   uint64_t occupancyMask(unsigned Count) const;
 
   /// Companion bitboard: bit i is set iff a live object starts at
   /// address i. Together with occupancyMask this determines the heap
-  /// prefix's layout up to object identity. O(live objects).
+  /// prefix's layout up to object identity.
   uint64_t objectStartMask(unsigned Count) const;
+
+  /// Span generalization of occupancyMask: copies the occupancy of
+  /// [Start, Start + 64 * Count) into \p Out as packed words (Out[i]
+  /// bit j = address Start + 64 * i + j). O(Count + log objects); the
+  /// exact solver's witness replays cross-check arbitrary arena widths
+  /// through this.
+  void occupancyWords(Addr Start, size_t Count, uint64_t *Out) const;
+
+  /// Span generalization of objectStartMask, same layout as
+  /// occupancyWords.
+  void objectStartWords(Addr Start, size_t Count, uint64_t *Out) const;
 
   /// Ids of live objects intersecting [Start, Start + Size), in address
   /// order. O(log live + matches).
   std::vector<ObjectId> liveObjectsIn(Addr Start, uint64_t Size) const;
 
   /// Id of the lowest-addressed live object starting at or above \p A, or
-  /// InvalidObjectId when none exists. O(log live); lets compactors walk
-  /// the heap in address order without snapshotting the whole live set.
-  ObjectId firstLiveAt(Addr A) const {
-    auto It = LiveByAddr.lower_bound(A);
-    return It == LiveByAddr.end() ? InvalidObjectId : It->second;
-  }
+  /// InvalidObjectId when none exists. O(words scanned); lets compactors
+  /// walk the heap in address order without snapshotting the whole live
+  /// set.
+  ObjectId firstLiveAt(Addr A) const;
 
 private:
+  /// Dense start-board ceiling: objects starting at or above it live in
+  /// the sorted fallback map.
+  static constexpr uint64_t DenseLimit = uint64_t(1) << 24;
+
+  /// Records/erases the start bit (dense board or fallback map).
+  void noteStart(Addr Address, ObjectId Id);
+  void forgetStart(Addr Address);
+
+  /// Id of the live object starting at \p Address (which must carry a
+  /// start bit / map entry).
+  ObjectId idStartingAt(Addr Address) const;
+
+  /// Start address of the last live object starting strictly below
+  /// \p Limit, or InvalidAddr.
+  Addr lastStartBefore(Addr Limit) const;
+
   std::vector<Object> Objects;
   FreeSpaceIndex Free;
-  /// Live objects ordered by current address, for range queries.
-  std::map<Addr, ObjectId> LiveByAddr;
+  /// Live object starts below DenseLimit: bit A set iff a live object
+  /// starts at A, with IdAt[A] naming it (IdAt is meaningful only under
+  /// set bits).
+  PackedBitmap StartBits;
+  std::vector<ObjectId> IdAt;
+  /// Live objects starting at or above DenseLimit, ordered by address.
+  std::map<Addr, ObjectId> HighObjects;
   HeapStats Stats;
   std::function<void(const HeapEvent &)> OnEvent;
 };

@@ -1,0 +1,240 @@
+//===- heap/PackedBitmap.h - Growable packed bit vector ---------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, growable bitmap over the committed address prefix: bit i of
+/// word i/64 is address i (low bit = low address). This is the storage
+/// layer of the bitboard heap substrate — FreeSpaceIndex keeps the
+/// occupancy board here and Heap keeps the object-start board. The bitmap
+/// covers only the prefix the simulation has touched; addresses at or
+/// above sizeBits() are implicitly zero (the callers own that
+/// convention: for occupancy, "zero" means free, which is exactly the
+/// model's infinite tail).
+///
+/// Range mutators assert the prior state of every bit they flip, so a
+/// double-reserve or double-release is caught at the word level with the
+/// same diagnostics the interval structures used to raise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_HEAP_PACKEDBITMAP_H
+#define PCBOUND_HEAP_PACKEDBITMAP_H
+
+#include "support/BitOps.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pcb {
+
+class PackedBitmap {
+public:
+  /// Sentinel for "no such bit".
+  static constexpr uint64_t NoBit = ~uint64_t(0);
+
+  uint64_t sizeBits() const { return uint64_t(W.size()) * WordBits; }
+  size_t sizeWords() const { return W.size(); }
+  const uint64_t *words() const { return W.data(); }
+  uint64_t word(size_t I) const { return W[I]; }
+
+  /// Grows the committed prefix to at least \p Words words (zero-filled);
+  /// never shrinks.
+  void growWords(size_t Words) {
+    if (Words > W.size())
+      W.resize(Words, 0);
+  }
+
+  /// Bit \p I, which must be committed.
+  bool test(uint64_t I) const {
+    assert(I < sizeBits() && "bit beyond the committed prefix");
+    return (W[I / WordBits] >> (I % WordBits)) & 1;
+  }
+
+  /// Bit \p I, reading uncommitted bits as zero.
+  bool testZeroExtended(uint64_t I) const {
+    return I < sizeBits() && test(I);
+  }
+
+  void set(uint64_t I) {
+    assert(I < sizeBits() && "bit beyond the committed prefix");
+    W[I / WordBits] |= uint64_t(1) << (I % WordBits);
+  }
+
+  void clear(uint64_t I) {
+    assert(I < sizeBits() && "bit beyond the committed prefix");
+    W[I / WordBits] &= ~(uint64_t(1) << (I % WordBits));
+  }
+
+  /// True when every bit of [S, E) is zero; bits beyond the committed
+  /// prefix read as zero.
+  bool rangeClear(uint64_t S, uint64_t E) const {
+    assert(S <= E && "inverted range");
+    E = clampBits(E);
+    if (S >= E)
+      return true;
+    size_t WS = S / WordBits, WE = (E - 1) / WordBits;
+    uint64_t Lo = S % WordBits, Hi = (E - 1) % WordBits + 1;
+    if (WS == WE)
+      return (W[WS] & bitRange(unsigned(Lo), unsigned(Hi))) == 0;
+    if ((W[WS] & ~lowMask(unsigned(Lo))) != 0)
+      return false;
+    if ((W[WE] & lowMask(unsigned(Hi))) != 0)
+      return false;
+    return findNonzeroWord(W.data() + WS + 1, WE - WS - 1) == WE - WS - 1;
+  }
+
+  /// True when every bit of [S, E) is one. The range must be committed.
+  bool rangeSet(uint64_t S, uint64_t E) const {
+    assert(S < E && E <= sizeBits() && "range beyond the committed prefix");
+    size_t WS = S / WordBits, WE = (E - 1) / WordBits;
+    uint64_t Lo = S % WordBits, Hi = (E - 1) % WordBits + 1;
+    if (WS == WE) {
+      uint64_t M = bitRange(unsigned(Lo), unsigned(Hi));
+      return (W[WS] & M) == M;
+    }
+    if ((~W[WS] & ~lowMask(unsigned(Lo))) != 0)
+      return false;
+    if ((~W[WE] & lowMask(unsigned(Hi))) != 0)
+      return false;
+    return findNotOnesWord(W.data() + WS + 1, WE - WS - 1) == WE - WS - 1;
+  }
+
+  /// Sets [S, E). The range must be committed and currently clear
+  /// (asserted word by word).
+  void setRange(uint64_t S, uint64_t E) {
+    mutateRange(S, E, /*Set=*/true);
+  }
+
+  /// Clears [S, E). The range must be committed and currently set.
+  void clearRange(uint64_t S, uint64_t E) {
+    mutateRange(S, E, /*Set=*/false);
+  }
+
+  /// Number of set bits in [S, E); bits beyond the prefix read as zero.
+  uint64_t popcountRange(uint64_t S, uint64_t E) const {
+    assert(S <= E && "inverted range");
+    E = clampBits(E);
+    if (S >= E)
+      return 0;
+    size_t WS = S / WordBits, WE = (E - 1) / WordBits;
+    uint64_t Lo = S % WordBits, Hi = (E - 1) % WordBits + 1;
+    if (WS == WE)
+      return popcount64(W[WS] & bitRange(unsigned(Lo), unsigned(Hi)));
+    uint64_t N = popcount64(W[WS] & ~lowMask(unsigned(Lo)));
+    for (size_t I = WS + 1; I != WE; ++I)
+      N += popcount64(W[I]);
+    return N + popcount64(W[WE] & lowMask(unsigned(Hi)));
+  }
+
+  /// First set bit at or after \p From, or NoBit. Bits beyond the prefix
+  /// are zero, so the scan stops at sizeBits().
+  uint64_t findFirstSet(uint64_t From) const {
+    uint64_t Bits = sizeBits();
+    if (From >= Bits)
+      return NoBit;
+    size_t WI = From / WordBits;
+    uint64_t Head = W[WI] & ~lowMask(unsigned(From % WordBits));
+    if (Head != 0)
+      return uint64_t(WI) * WordBits + countTrailingZeros(Head);
+    size_t Off = findNonzeroWord(W.data() + WI + 1, W.size() - WI - 1);
+    size_t At = WI + 1 + Off;
+    if (At == W.size())
+      return NoBit;
+    return uint64_t(At) * WordBits + countTrailingZeros(W[At]);
+  }
+
+  /// First clear bit at or after \p From (bits beyond the prefix are
+  /// clear, so this always exists).
+  uint64_t findFirstClear(uint64_t From) const {
+    uint64_t Bits = sizeBits();
+    if (From >= Bits)
+      return From;
+    size_t WI = From / WordBits;
+    uint64_t Head = ~W[WI] & ~lowMask(unsigned(From % WordBits));
+    if (Head != 0)
+      return uint64_t(WI) * WordBits + countTrailingZeros(Head);
+    size_t Off = findNotOnesWord(W.data() + WI + 1, W.size() - WI - 1);
+    size_t At = WI + 1 + Off;
+    if (At == W.size())
+      return Bits;
+    return uint64_t(At) * WordBits + countTrailingZeros(~W[At]);
+  }
+
+  /// Last set bit strictly below \p Limit, or NoBit.
+  uint64_t findLastSetBefore(uint64_t Limit) const {
+    uint64_t Bits = sizeBits();
+    if (Limit > Bits)
+      Limit = Bits;
+    if (Limit == 0)
+      return NoBit;
+    size_t WI = (Limit - 1) / WordBits;
+    uint64_t Head = W[WI] & lowMask(unsigned((Limit - 1) % WordBits) + 1);
+    for (;;) {
+      if (Head != 0)
+        return uint64_t(WI) * WordBits + topBitIndex(Head);
+      if (WI == 0)
+        return NoBit;
+      Head = W[--WI];
+    }
+  }
+
+  /// Copies bits [Start, Start + 64 * Count) into \p Out as packed words
+  /// (Out[i] bit j = bit Start + 64 * i + j); bits beyond the committed
+  /// prefix read as zero. Arbitrary (non-word-aligned) Start.
+  void extract(uint64_t Start, size_t Count, uint64_t *Out) const {
+    unsigned Shift = unsigned(Start % WordBits);
+    size_t Base = size_t(Start / WordBits);
+    for (size_t I = 0; I != Count; ++I) {
+      uint64_t Lo = wordOrZero(Base + I);
+      if (Shift == 0) {
+        Out[I] = Lo;
+        continue;
+      }
+      uint64_t Hi = wordOrZero(Base + I + 1);
+      Out[I] = (Lo >> Shift) | (Hi << (WordBits - Shift));
+    }
+  }
+
+private:
+  uint64_t clampBits(uint64_t E) const {
+    uint64_t Bits = sizeBits();
+    return E < Bits ? E : Bits;
+  }
+
+  uint64_t wordOrZero(size_t I) const { return I < W.size() ? W[I] : 0; }
+
+  void mutateRange(uint64_t S, uint64_t E, bool Set) {
+    assert(S < E && E <= sizeBits() && "range beyond the committed prefix");
+    size_t WS = S / WordBits, WE = (E - 1) / WordBits;
+    uint64_t Lo = S % WordBits, Hi = (E - 1) % WordBits + 1;
+    if (WS == WE) {
+      applyMask(WS, bitRange(unsigned(Lo), unsigned(Hi)), Set);
+      return;
+    }
+    applyMask(WS, ~lowMask(unsigned(Lo)), Set);
+    for (size_t I = WS + 1; I != WE; ++I)
+      applyMask(I, ~uint64_t(0), Set);
+    applyMask(WE, lowMask(unsigned(Hi)), Set);
+  }
+
+  void applyMask(size_t WI, uint64_t M, bool Set) {
+    if (Set) {
+      assert((W[WI] & M) == 0 && "setting bits that are already set");
+      W[WI] |= M;
+    } else {
+      assert((W[WI] & M) == M && "clearing bits that are already clear");
+      W[WI] &= ~M;
+    }
+  }
+
+  std::vector<uint64_t> W;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_HEAP_PACKEDBITMAP_H

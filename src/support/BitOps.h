@@ -1,0 +1,84 @@
+//===- support/BitOps.h - Word-level bit manipulation -----------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single home for packed-bitmap word arithmetic: range masks, bit
+/// scans, and popcounts over 64-bit words (with 32-bit variants for the
+/// exact solver's arena boards). The heap substrate (PackedBitmap,
+/// FreeSpaceIndex, Heap) and the exact game (src/exact/) build on the
+/// same helpers so a boundary bug cannot hide in one copy.
+///
+/// The multi-word scan kernels (find the first interesting word in an
+/// array) have a portable SWAR implementation here and AVX2 variants in
+/// BitOps.cpp behind a cached runtime CPU check; the AVX2 paths return
+/// bit-identical results and exist purely for speed, so determinism is
+/// unaffected. Configure with -DPCB_DISABLE_AVX2=ON to force the portable
+/// path (CI exercises both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_SUPPORT_BITOPS_H
+#define PCBOUND_SUPPORT_BITOPS_H
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pcb {
+
+/// Bits per packed word. Addresses map to (word = A / WordBits,
+/// bit = A % WordBits); bit i of a word is address (word * 64 + i), so
+/// "lower address" is "less significant bit" everywhere.
+inline constexpr unsigned WordBits = 64;
+
+/// The lowest \p N bits set; N may be 0..64 inclusive.
+constexpr uint64_t lowMask(unsigned N) {
+  assert(N <= 64 && "mask wider than a word");
+  return N >= 64 ? ~uint64_t(0) : (uint64_t(1) << N) - 1;
+}
+
+/// 32-bit variant for the exact solver's arena boards (W <= 30 cells).
+constexpr uint32_t lowMask32(unsigned N) {
+  assert(N <= 32 && "mask wider than a word");
+  return N >= 32 ? ~uint32_t(0) : (uint32_t(1) << N) - 1;
+}
+
+/// Bits [Lo, Hi) of a word, Lo <= Hi <= 64.
+constexpr uint64_t bitRange(unsigned Lo, unsigned Hi) {
+  assert(Lo <= Hi && "inverted bit range");
+  return lowMask(Hi) & ~lowMask(Lo);
+}
+
+/// Index of the lowest set bit. \p X must be nonzero.
+inline unsigned countTrailingZeros(uint64_t X) {
+  assert(X != 0 && "bit scan over zero");
+  return unsigned(std::countr_zero(X));
+}
+
+/// Index of the highest set bit. \p X must be nonzero.
+inline unsigned topBitIndex(uint64_t X) {
+  assert(X != 0 && "bit scan over zero");
+  return 63u - unsigned(std::countl_zero(X));
+}
+
+inline unsigned popcount64(uint64_t X) { return unsigned(std::popcount(X)); }
+
+/// Index of the first word in W[0..N) that is nonzero, or N. AVX2 when
+/// available; result is identical either way.
+size_t findNonzeroWord(const uint64_t *W, size_t N);
+
+/// Index of the first word in W[0..N) that is not all-ones, or N.
+size_t findNotOnesWord(const uint64_t *W, size_t N);
+
+/// True when the AVX2 kernels are compiled in and the CPU supports them
+/// (exposed so the bench header can report which path ran).
+bool avx2ScanActive();
+
+} // namespace pcb
+
+#endif // PCBOUND_SUPPORT_BITOPS_H

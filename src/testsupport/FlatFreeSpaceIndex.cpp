@@ -1,0 +1,553 @@
+//===- testsupport/FlatFreeSpaceIndex.cpp - Oracle flat index ------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testsupport/FlatFreeSpaceIndex.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace pcb;
+
+FlatFreeSpaceIndex::FlatFreeSpaceIndex() {
+  for (unsigned K = 0; K != NumClasses; ++K)
+    ClassMin[K] = AddrLimit;
+  insertBlock(0, AddrLimit);
+  classAdd(AddrLimit, 0);
+}
+
+unsigned FlatFreeSpaceIndex::classOf(uint64_t Size) {
+  assert(Size != 0 && "zero-size block");
+  unsigned K = log2Floor(Size);
+  return K < NumClasses ? K : NumClasses - 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf plumbing
+//===----------------------------------------------------------------------===//
+
+FlatFreeSpaceIndex::Leaf *FlatFreeSpaceIndex::newLeaf() {
+  if (!FreeLeaves.empty()) {
+    Leaf *L = FreeLeaves.back();
+    FreeLeaves.pop_back();
+    L->Count = 0;
+    return L;
+  }
+  Pool.push_back(std::make_unique<Leaf>());
+  return Pool.back().get();
+}
+
+void FlatFreeSpaceIndex::recycleLeaf(Leaf *L) { FreeLeaves.push_back(L); }
+
+size_t FlatFreeSpaceIndex::leafFor(Addr A) const {
+  // Last directory entry with FirstStart <= A. The directory is small
+  // (Cap blocks per leaf), so this binary search is shallow.
+  size_t Lo = 0, Hi = Dir.size();
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Dir[Mid].FirstStart <= A)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo == 0 ? NoLeaf : Lo - 1;
+}
+
+uint32_t FlatFreeSpaceIndex::slotUpperBound(const Leaf &L, Addr A) {
+  return uint32_t(std::upper_bound(L.Starts, L.Starts + L.Count, A) -
+                  L.Starts);
+}
+
+uint32_t FlatFreeSpaceIndex::slotLowerBound(const Leaf &L, Addr A) {
+  return uint32_t(std::lower_bound(L.Starts, L.Starts + L.Count, A) -
+                  L.Starts);
+}
+
+void FlatFreeSpaceIndex::refreshSummary(size_t Li) {
+  LeafMeta &M = Dir[Li];
+  const Leaf &L = *M.L;
+  assert(L.Count != 0 && "summarizing an empty leaf");
+  M.FirstStart = L.Starts[0];
+  M.Count = L.Count;
+  uint64_t MaxSize = 0;
+  uint64_t Mask = 0;
+  for (uint32_t I = 0; I != L.Count; ++I) {
+    uint64_t Size = L.Ends[I] - L.Starts[I];
+    MaxSize = std::max(MaxSize, Size);
+    Mask |= uint64_t(1) << classOf(Size);
+  }
+  M.MaxSize = MaxSize;
+  M.ClassMask = Mask;
+}
+
+void FlatFreeSpaceIndex::insertSlot(size_t Li, uint32_t Slot, Addr S, Addr E) {
+  Leaf *L = Dir[Li].L;
+  if (L->Count == Leaf::Cap) {
+    // Split: move the upper half into a fresh leaf directly after Li.
+    constexpr uint32_t Half = Leaf::Cap / 2;
+    Leaf *NL = newLeaf();
+    std::memcpy(NL->Starts, L->Starts + Half, Half * sizeof(Addr));
+    std::memcpy(NL->Ends, L->Ends + Half, Half * sizeof(Addr));
+    NL->Count = Half;
+    L->Count = Half;
+    Dir.insert(Dir.begin() + Li + 1,
+               LeafMeta{NL->Starts[0], 0, 0, Half, NL});
+    refreshSummary(Li);
+    refreshSummary(Li + 1);
+    if (Slot > Half) {
+      ++Li;
+      Slot -= Half;
+      L = NL;
+    }
+  }
+  assert(Slot <= L->Count && "slot out of range");
+  std::memmove(L->Starts + Slot + 1, L->Starts + Slot,
+               (L->Count - Slot) * sizeof(Addr));
+  std::memmove(L->Ends + Slot + 1, L->Ends + Slot,
+               (L->Count - Slot) * sizeof(Addr));
+  L->Starts[Slot] = S;
+  L->Ends[Slot] = E;
+  ++L->Count;
+  refreshSummary(Li);
+}
+
+void FlatFreeSpaceIndex::eraseSlot(size_t Li, uint32_t Slot) {
+  Leaf *L = Dir[Li].L;
+  assert(Slot < L->Count && "slot out of range");
+  std::memmove(L->Starts + Slot, L->Starts + Slot + 1,
+               (L->Count - Slot - 1) * sizeof(Addr));
+  std::memmove(L->Ends + Slot, L->Ends + Slot + 1,
+               (L->Count - Slot - 1) * sizeof(Addr));
+  if (--L->Count == 0) {
+    recycleLeaf(L);
+    Dir.erase(Dir.begin() + Li);
+    return;
+  }
+  refreshSummary(Li);
+}
+
+void FlatFreeSpaceIndex::insertBlock(Addr S, Addr E) {
+  assert(S < E && "empty free block");
+  size_t Li = leafFor(S);
+  if (Li == NoLeaf) {
+    if (Dir.empty()) {
+      Leaf *L = newLeaf();
+      L->Starts[0] = S;
+      L->Ends[0] = E;
+      L->Count = 1;
+      Dir.push_back(LeafMeta{S, E - S, uint64_t(1) << classOf(E - S), 1, L});
+      return;
+    }
+    insertSlot(0, 0, S, E);
+    return;
+  }
+  insertSlot(Li, slotUpperBound(*Dir[Li].L, S), S, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Size-class summary
+//===----------------------------------------------------------------------===//
+
+void FlatFreeSpaceIndex::classAdd(uint64_t Size, Addr Start) {
+  unsigned K = classOf(Size);
+  ++ClassCount[K];
+  ClassBits |= uint64_t(1) << K;
+  ClassMin[K] = std::min(ClassMin[K], Start);
+  ++TotalBlocks;
+}
+
+void FlatFreeSpaceIndex::classRemove(uint64_t Size) {
+  unsigned K = classOf(Size);
+  assert(ClassCount[K] != 0 && "class count underflow");
+  if (--ClassCount[K] == 0) {
+    ClassBits &= ~(uint64_t(1) << K);
+    // The cache self-heals whenever a class empties: the next insert
+    // makes it exact again.
+    ClassMin[K] = AddrLimit;
+  }
+  --TotalBlocks;
+}
+
+Addr FlatFreeSpaceIndex::fitScanHint(unsigned MinClass) const {
+  // Every block of size >= 2^MinClass lives in a class >= MinClass, and
+  // starts at or after its class's cached minimum, so no fit can begin
+  // before the smallest of those minima.
+  Addr Hint = AddrLimit;
+  for (uint64_t Bits = ClassBits >> MinClass; Bits != 0; Bits &= Bits - 1) {
+    unsigned K = MinClass + unsigned(log2Floor(Bits & -Bits));
+    Hint = std::min(Hint, ClassMin[K]);
+  }
+  return Hint;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation
+//===----------------------------------------------------------------------===//
+
+void FlatFreeSpaceIndex::release(Addr Start, uint64_t Size) {
+  assert(Size != 0 && "releasing zero words");
+  Addr End = Start + Size;
+
+  // Predecessor: last block beginning at or before Start. A block
+  // beginning inside (Start, End) means the range is being
+  // double-released (one beginning exactly at End is fine: it is the
+  // coalescing successor).
+  size_t PLi = leafFor(Start);
+  uint32_t PSlot = 0;
+  bool HasPred = PLi != NoLeaf;
+  Addr PStart = 0, PEnd = 0;
+  if (HasPred) {
+    PSlot = slotUpperBound(*Dir[PLi].L, Start);
+    assert(PSlot != 0 && "leaf lookup missed the predecessor");
+    --PSlot;
+    PStart = Dir[PLi].L->Starts[PSlot];
+    PEnd = Dir[PLi].L->Ends[PSlot];
+    assert(PEnd <= Start && "releasing a range that is partly free");
+  }
+
+  // Successor: the block right after the predecessor (or the very first
+  // block when there is none).
+  size_t SLi = 0;
+  uint32_t SSlot = 0;
+  bool HasSucc;
+  if (!HasPred) {
+    HasSucc = !Dir.empty();
+  } else if (PSlot + 1 < Dir[PLi].Count) {
+    SLi = PLi;
+    SSlot = PSlot + 1;
+    HasSucc = true;
+  } else if (PLi + 1 < Dir.size()) {
+    SLi = PLi + 1;
+    SSlot = 0;
+    HasSucc = true;
+  } else {
+    HasSucc = false;
+  }
+  Addr SStart = 0, SEnd = 0;
+  if (HasSucc) {
+    SStart = Dir[SLi].L->Starts[SSlot];
+    SEnd = Dir[SLi].L->Ends[SSlot];
+    assert(SStart >= End && "releasing a range that is partly free");
+  }
+
+  bool Left = HasPred && PEnd == Start;
+  bool Right = HasSucc && SStart == End;
+  if (Left && Right) {
+    classRemove(PEnd - PStart);
+    classRemove(SEnd - SStart);
+    Dir[PLi].L->Ends[PSlot] = SEnd;
+    classAdd(SEnd - PStart, PStart);
+    // Erase the successor first: it never precedes the predecessor, so
+    // PLi stays valid; refresh last.
+    eraseSlot(SLi, SSlot);
+    refreshSummary(PLi);
+  } else if (Left) {
+    classRemove(PEnd - PStart);
+    Dir[PLi].L->Ends[PSlot] = End;
+    classAdd(End - PStart, PStart);
+    refreshSummary(PLi);
+  } else if (Right) {
+    classRemove(SEnd - SStart);
+    Dir[SLi].L->Starts[SSlot] = Start;
+    classAdd(SEnd - Start, Start);
+    refreshSummary(SLi);
+  } else {
+    if (HasPred)
+      insertSlot(PLi, PSlot + 1, Start, End);
+    else
+      insertBlock(Start, End);
+    classAdd(Size, Start);
+  }
+}
+
+void FlatFreeSpaceIndex::reserve(Addr Start, uint64_t Size) {
+  assert(Size != 0 && "reserving zero words");
+  Addr End = Start + Size;
+  size_t Li = leafFor(Start);
+  assert(Li != NoLeaf && "reserve target is not free");
+  Leaf *L = Dir[Li].L;
+  uint32_t Slot = slotUpperBound(*L, Start);
+  assert(Slot != 0 && "leaf lookup missed the containing block");
+  --Slot;
+  Addr BStart = L->Starts[Slot];
+  Addr BEnd = L->Ends[Slot];
+  assert(BStart <= Start && End <= BEnd &&
+         "reserve target is not entirely free");
+  classRemove(BEnd - BStart);
+  bool KeepLow = BStart < Start;
+  bool KeepHigh = End < BEnd;
+  if (KeepLow && KeepHigh) {
+    L->Ends[Slot] = Start;
+    classAdd(Start - BStart, BStart);
+    classAdd(BEnd - End, End);
+    insertSlot(Li, Slot + 1, End, BEnd); // refreshes summaries
+  } else if (KeepLow) {
+    L->Ends[Slot] = Start;
+    classAdd(Start - BStart, BStart);
+    refreshSummary(Li);
+  } else if (KeepHigh) {
+    L->Starts[Slot] = End;
+    classAdd(BEnd - End, End);
+    refreshSummary(Li);
+  } else {
+    eraseSlot(Li, Slot);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+bool FlatFreeSpaceIndex::isFree(Addr Start, uint64_t Size) const {
+  assert(Size != 0 && "querying zero words");
+  size_t Li = leafFor(Start);
+  if (Li == NoLeaf)
+    return false;
+  const Leaf &L = *Dir[Li].L;
+  uint32_t Slot = slotUpperBound(L, Start);
+  if (Slot == 0)
+    return false;
+  --Slot;
+  return L.Starts[Slot] <= Start && Start + Size <= L.Ends[Slot];
+}
+
+Addr FlatFreeSpaceIndex::firstFit(uint64_t Size) const {
+  return firstFitFrom(0, Size);
+}
+
+Addr FlatFreeSpaceIndex::firstFitFrom(Addr From, uint64_t Size) const {
+  assert(Size != 0 && "zero-size fit query");
+  // A block containing From may serve the request from From onward.
+  if (From != 0) {
+    size_t Li = leafFor(From);
+    if (Li != NoLeaf) {
+      const Leaf &L = *Dir[Li].L;
+      uint32_t Slot = slotUpperBound(L, From);
+      if (Slot != 0 && L.Ends[Slot - 1] > From &&
+          L.Ends[Slot - 1] - From >= Size)
+        return From;
+    }
+  }
+  // No fitting block can begin before the class cache's hint, so start
+  // the directory walk there; per-leaf MaxSize prunes the rest.
+  Addr ScanFrom = std::max(From, fitScanHint(classOf(Size)));
+  size_t Li = 0;
+  uint32_t Slot = 0;
+  if (ScanFrom != 0) {
+    size_t At = leafFor(ScanFrom);
+    if (At != NoLeaf) {
+      Li = At;
+      Slot = slotLowerBound(*Dir[At].L, ScanFrom);
+    }
+  }
+  for (; Li != Dir.size(); ++Li, Slot = 0) {
+    const LeafMeta &M = Dir[Li];
+    if (M.MaxSize < Size)
+      continue;
+    const Leaf &L = *M.L;
+    for (uint32_t I = Slot; I != M.Count; ++I) {
+      if (L.Ends[I] - L.Starts[I] >= Size) {
+        return L.Starts[I];
+      }
+    }
+  }
+  assert(false && "infinite tail should always fit");
+  return InvalidAddr;
+}
+
+Addr FlatFreeSpaceIndex::bestFit(uint64_t Size) const {
+  assert(Size != 0 && "zero-size fit query");
+  unsigned K = classOf(Size);
+  uint64_t BestSize = UINT64_MAX;
+  Addr BestStart = InvalidAddr;
+  // The boundary class holds sizes in [2^K, 2^(K+1)): blocks there fit
+  // iff their exact size does, and any that fits is tighter than every
+  // block of a higher class. The address-ordered scan makes "first block
+  // of the minimal size" the lowest-address tie-break for free.
+  if ((ClassBits >> K) & 1) {
+    for (const LeafMeta &M : Dir) {
+      if (!((M.ClassMask >> K) & 1))
+        continue;
+      const Leaf &L = *M.L;
+      for (uint32_t I = 0; I != M.Count; ++I) {
+        uint64_t BSize = L.Ends[I] - L.Starts[I];
+        if (BSize >= Size && BSize < BestSize && classOf(BSize) == K) {
+          BestSize = BSize;
+          BestStart = L.Starts[I];
+          if (BestSize == Size)
+            return BestStart; // exact fit: nothing can be tighter
+        }
+      }
+    }
+  }
+  if (BestStart != InvalidAddr)
+    return BestStart;
+  // Otherwise the tightest fit lives in the lowest non-empty class above
+  // K (its sizes are all smaller than any higher class's).
+  uint64_t Higher = K + 1 < 64 ? ClassBits >> (K + 1) << (K + 1) : 0;
+  assert(Higher != 0 && "infinite tail should always fit");
+  unsigned K2 = unsigned(log2Floor(Higher & -Higher));
+  uint64_t ClassFloor = uint64_t(1) << K2;
+  for (const LeafMeta &M : Dir) {
+    if (!((M.ClassMask >> K2) & 1))
+      continue;
+    const Leaf &L = *M.L;
+    for (uint32_t I = 0; I != M.Count; ++I) {
+      uint64_t BSize = L.Ends[I] - L.Starts[I];
+      if (BSize < BestSize && classOf(BSize) == K2) {
+        BestSize = BSize;
+        BestStart = L.Starts[I];
+        if (BestSize == ClassFloor)
+          return BestStart; // class minimum: nothing can be tighter
+      }
+    }
+  }
+  assert(BestStart != InvalidAddr && "infinite tail should always fit");
+  return BestStart;
+}
+
+Addr FlatFreeSpaceIndex::firstFitAligned(uint64_t Size, uint64_t Align) const {
+  assert(Size != 0 && "zero-size fit query");
+  assert(isPowerOfTwo(Align) && "alignment must be a power of two");
+  // Blocks are disjoint and address-ordered, so the first block (by
+  // address) that admits an aligned placement yields the lowest aligned
+  // address overall: a later block's candidate starts past this block's
+  // end. Only blocks of size >= Size can admit one.
+  Addr ScanFrom = fitScanHint(classOf(Size));
+  size_t Li = 0;
+  if (ScanFrom != 0) {
+    size_t At = leafFor(ScanFrom);
+    if (At != NoLeaf)
+      Li = At;
+  }
+  for (; Li != Dir.size(); ++Li) {
+    const LeafMeta &M = Dir[Li];
+    if (M.MaxSize < Size)
+      continue;
+    const Leaf &L = *M.L;
+    for (uint32_t I = 0; I != M.Count; ++I) {
+      if (L.Ends[I] - L.Starts[I] < Size)
+        continue;
+      Addr Aligned = alignUp(L.Starts[I], Align);
+      if (Aligned < L.Ends[I] && L.Ends[I] - Aligned >= Size) {
+        return Aligned;
+      }
+    }
+  }
+  assert(false && "infinite tail should always fit");
+  return InvalidAddr;
+}
+
+Addr FlatFreeSpaceIndex::firstFitBelow(uint64_t Size, Addr Limit) const {
+  assert(Size != 0 && "zero-size fit query");
+  // Blocks are address-ordered, so if the overall first fit does not end
+  // below the limit, no later block can either.
+  Addr A = firstFit(Size);
+  return A + Size <= Limit ? A : InvalidAddr;
+}
+
+Addr FlatFreeSpaceIndex::worstFitBelow(uint64_t Size, Addr Limit) const {
+  assert(Size != 0 && "zero-size fit query");
+  Addr Best = InvalidAddr;
+  uint64_t BestSpan = 0;
+  for (size_t Li = 0; Li != Dir.size(); ++Li) {
+    const LeafMeta &M = Dir[Li];
+    if (M.FirstStart >= Limit)
+      break;
+    // A clipped span never exceeds the block's size, so a leaf whose
+    // largest block cannot beat the incumbent (strictly — ties keep the
+    // lower address) is skipped whole.
+    if (M.MaxSize < Size || M.MaxSize <= BestSpan)
+      continue;
+    const Leaf &L = *M.L;
+    for (uint32_t I = 0; I != M.Count && L.Starts[I] < Limit; ++I) {
+      uint64_t Span = std::min<Addr>(L.Ends[I], Limit) - L.Starts[I];
+      if (Span >= Size && Span > BestSpan) {
+        BestSpan = Span;
+        Best = L.Starts[I];
+      }
+    }
+  }
+  return Best;
+}
+
+uint64_t FlatFreeSpaceIndex::freeWordsIn(Addr Start, Addr End) const {
+  assert(Start < End && "empty query range");
+  uint64_t Free = 0;
+  size_t Li = 0;
+  uint32_t Slot = 0;
+  if (Start != 0) {
+    size_t At = leafFor(Start);
+    if (At != NoLeaf) {
+      Li = At;
+      // Include the block possibly straddling Start.
+      uint32_t Ub = slotUpperBound(*Dir[At].L, Start);
+      Slot = Ub == 0 ? 0 : Ub - 1;
+    }
+  }
+  for (; Li != Dir.size(); ++Li, Slot = 0) {
+    const Leaf &L = *Dir[Li].L;
+    for (uint32_t I = Slot; I != Dir[Li].Count; ++I) {
+      if (L.Starts[I] >= End)
+        return Free;
+      Addr Lo = std::max<Addr>(L.Starts[I], Start);
+      Addr Hi = std::min<Addr>(L.Ends[I], End);
+      if (Hi > Lo)
+        Free += Hi - Lo;
+    }
+  }
+  return Free;
+}
+
+uint64_t FlatFreeSpaceIndex::freeWordsBelow(Addr Limit) const {
+  return Limit == 0 ? 0 : freeWordsIn(0, Limit);
+}
+
+size_t FlatFreeSpaceIndex::numBlocksBelow(Addr Limit) const {
+  size_t N = 0;
+  for (size_t Li = 0; Li != Dir.size(); ++Li) {
+    const LeafMeta &M = Dir[Li];
+    if (M.FirstStart >= Limit)
+      break;
+    // Blocks are disjoint and sorted, so every start in this leaf is
+    // below the next leaf's FirstStart: when that is still below the
+    // limit, the whole leaf counts without touching it.
+    if (Li + 1 != Dir.size() && Dir[Li + 1].FirstStart <= Limit) {
+      N += M.Count;
+      continue;
+    }
+    N += slotLowerBound(*M.L, Limit);
+    break;
+  }
+  return N;
+}
+
+uint64_t FlatFreeSpaceIndex::largestBlockBelow(Addr Limit) const {
+  uint64_t Best = 0;
+  for (size_t Li = 0; Li != Dir.size(); ++Li) {
+    const LeafMeta &M = Dir[Li];
+    if (M.FirstStart >= Limit)
+      break;
+    // Clipping never grows a span, so a leaf whose largest block does not
+    // beat the incumbent is skipped whole.
+    if (M.MaxSize <= Best)
+      continue;
+    const Leaf &L = *M.L;
+    if (L.Ends[M.Count - 1] <= Limit) {
+      // Wholly below the limit: clipping is the identity.
+      Best = M.MaxSize;
+      continue;
+    }
+    for (uint32_t I = 0; I != M.Count && L.Starts[I] < Limit; ++I) {
+      uint64_t Span = std::min<Addr>(L.Ends[I], Limit) - L.Starts[I];
+      Best = std::max(Best, Span);
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,238 @@
+//===- testsupport/FlatFreeSpaceIndex.h - Oracle flat index -----*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maintains the complement of the used space — the free blocks — with the
+/// placement queries the memory-manager policies need: first fit, best
+/// fit, next fit (first fit from a cursor), aligned first fit, and worst
+/// fit below a limit.
+///
+/// The index is a flat, cache-friendly structure: free blocks live in
+/// fixed-capacity leaves (sorted arrays of [start, end) runs in address
+/// order), and a contiguous directory of per-leaf summaries — first
+/// start, largest block size, bitmask of size classes present — lets
+/// every query skip whole leaves with sequential scans instead of
+/// pointer-chasing node-based containers. A 61-entry size-class summary
+/// (presence bitmask, per-class block counts, and a per-class min-address
+/// cache) turns first-fit queries into "binary-search near the answer,
+/// then scan a couple of cache lines".
+///
+/// Semantics are identical to the original map/multimap/set-based
+/// implementation (kept as ReferenceFreeSpaceIndex in the test-support
+/// library and cross-checked continuously by the equivalence property
+/// test and the differential fuzzer's heap-parity oracle): all
+/// tie-breaks resolve to the lowest address, and the aggregate queries
+/// numBlocksBelow / largestBlockBelow stay exact for the telemetry layer.
+///
+/// The heap model is unbounded above (up to AddrLimit); the index always
+/// holds a final "tail" block reaching AddrLimit, so placement queries
+/// never fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_TESTSUPPORT_FLATFREESPACEINDEX_H
+#define PCBOUND_TESTSUPPORT_FLATFREESPACEINDEX_H
+
+#include "heap/HeapTypes.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace pcb {
+
+/// Address- and size-indexed free blocks with placement queries.
+class FlatFreeSpaceIndex {
+  /// A sorted run of free blocks. Starts/Ends are parallel arrays so the
+  /// address binary searches touch only the Starts cache lines.
+  struct Leaf {
+    static constexpr uint32_t Cap = 64;
+    uint32_t Count = 0;
+    Addr Starts[Cap];
+    Addr Ends[Cap];
+  };
+
+  /// Directory entry: the per-leaf summary the query scans read. Kept
+  /// contiguous (and redundant with the leaf) so pruning a leaf costs one
+  /// sequential cache line, not a pointer chase.
+  struct LeafMeta {
+    Addr FirstStart;    ///< == L->Starts[0]
+    uint64_t MaxSize;   ///< largest block size in the leaf
+    uint64_t ClassMask; ///< bit K set iff the leaf holds a class-K block
+    uint32_t Count;     ///< == L->Count
+    Leaf *L;
+  };
+
+public:
+  /// Initializes with the whole address space [0, AddrLimit) free.
+  FlatFreeSpaceIndex();
+
+  FlatFreeSpaceIndex(const FlatFreeSpaceIndex &) = delete;
+  FlatFreeSpaceIndex &operator=(const FlatFreeSpaceIndex &) = delete;
+
+  /// Marks [Start, Start + Size) free, coalescing neighbours. The range
+  /// must currently be absent from the index (i.e. used).
+  void release(Addr Start, uint64_t Size);
+
+  /// Marks [Start, Start + Size) used. The range must be fully free.
+  void reserve(Addr Start, uint64_t Size);
+
+  /// True if [Start, Start + Size) is entirely free.
+  bool isFree(Addr Start, uint64_t Size) const;
+
+  /// Lowest address where \p Size words fit.
+  Addr firstFit(uint64_t Size) const;
+
+  /// Lowest address >= \p From where \p Size words fit (a block
+  /// containing \p From counts from \p From onward).
+  Addr firstFitFrom(Addr From, uint64_t Size) const;
+
+  /// Address of the smallest free block that fits \p Size (ties broken by
+  /// lowest address).
+  Addr bestFit(uint64_t Size) const;
+
+  /// Lowest \p Align-aligned address where \p Size words fit.
+  /// \p Align must be a power of two.
+  Addr firstFitAligned(uint64_t Size, uint64_t Align) const;
+
+  /// Lowest address where \p Size words fit entirely below \p Limit, or
+  /// InvalidAddr when no such placement exists.
+  Addr firstFitBelow(uint64_t Size, Addr Limit) const;
+
+  /// Start of the free block with the largest span clipped to [0, Limit)
+  /// among blocks starting below \p Limit whose clipped span is at least
+  /// \p Size (ties broken by lowest address), or InvalidAddr when no such
+  /// block exists. This is classic worst fit over the committed heap.
+  Addr worstFitBelow(uint64_t Size, Addr Limit) const;
+
+  /// Number of free blocks (including the infinite tail).
+  size_t numBlocks() const { return TotalBlocks; }
+
+  /// Free words below \p Limit.
+  uint64_t freeWordsBelow(Addr Limit) const;
+
+  /// Free words within [Start, End).
+  uint64_t freeWordsIn(Addr Start, Addr End) const;
+
+  /// Number of free blocks that begin below \p Limit. O(leaves): whole
+  /// leaves are counted from the directory, only the straddling leaf is
+  /// binary-searched.
+  size_t numBlocksBelow(Addr Limit) const;
+
+  /// Largest free run clipped to [0, Limit): the maximum over blocks
+  /// starting below \p Limit of min(end, Limit) - start. O(leaves):
+  /// leaves wholly below the limit answer from their MaxSize summary;
+  /// only the leaf straddling \p Limit is scanned.
+  uint64_t largestBlockBelow(Addr Limit) const;
+
+  /// Forward iteration over (start, end) free blocks in address order.
+  class const_iterator {
+  public:
+    using value_type = std::pair<Addr, Addr>;
+    using reference = value_type;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    value_type operator*() const {
+      const Leaf *L = (*Dir)[Li].L;
+      return {L->Starts[Slot], L->Ends[Slot]};
+    }
+    const_iterator &operator++() {
+      if (++Slot == (*Dir)[Li].Count) {
+        ++Li;
+        Slot = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator Old = *this;
+      ++*this;
+      return Old;
+    }
+    bool operator==(const const_iterator &O) const {
+      return Li == O.Li && Slot == O.Slot;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    friend class FlatFreeSpaceIndex;
+    const_iterator(const std::vector<LeafMeta> *Dir, size_t Li,
+                   uint32_t Slot)
+        : Dir(Dir), Li(Li), Slot(Slot) {}
+
+    const std::vector<LeafMeta> *Dir;
+    size_t Li;
+    uint32_t Slot;
+  };
+
+  const_iterator begin() const { return const_iterator(&Dir, 0, 0); }
+  const_iterator end() const {
+    return const_iterator(&Dir, Dir.size(), 0);
+  }
+
+private:
+  static constexpr size_t NoLeaf = size_t(-1);
+  static constexpr unsigned NumClasses = 61;
+
+  /// Size class of a block: floor(log2(size)). Class K holds sizes in
+  /// [2^K, 2^(K+1)).
+  static unsigned classOf(uint64_t Size);
+
+  /// Index of the last leaf whose FirstStart is <= \p A, or NoLeaf.
+  size_t leafFor(Addr A) const;
+
+  /// First slot in \p L whose start is > \p A.
+  static uint32_t slotUpperBound(const Leaf &L, Addr A);
+  /// First slot in \p L whose start is >= \p A.
+  static uint32_t slotLowerBound(const Leaf &L, Addr A);
+
+  /// Recomputes Dir[Li]'s FirstStart/MaxSize/ClassMask/Count from the
+  /// leaf. O(leaf size) — a couple of cache lines.
+  void refreshSummary(size_t Li);
+
+  /// Inserts block [S, E) at \p Slot of leaf \p Li, splitting the leaf
+  /// when full; refreshes affected summaries.
+  void insertSlot(size_t Li, uint32_t Slot, Addr S, Addr E);
+
+  /// Erases the block at \p Slot of leaf \p Li, dropping the leaf when it
+  /// becomes empty; refreshes the summary otherwise.
+  void eraseSlot(size_t Li, uint32_t Slot);
+
+  /// Inserts a block with no free neighbours (used by the constructor and
+  /// the no-coalesce release path).
+  void insertBlock(Addr S, Addr E);
+
+  /// Size-class accounting: every block is in exactly one class.
+  void classAdd(uint64_t Size, Addr Start);
+  void classRemove(uint64_t Size);
+
+  /// Lowest address any block of size >= \p Size could start at, from the
+  /// per-class min-address cache (a conservative lower bound; exact again
+  /// each time a class empties). AddrLimit when no class could fit.
+  Addr fitScanHint(unsigned MinClass) const;
+
+  Leaf *newLeaf();
+  void recycleLeaf(Leaf *L);
+
+  std::vector<LeafMeta> Dir;                ///< leaf directory, address order
+  std::vector<std::unique_ptr<Leaf>> Pool;  ///< owns every leaf ever made
+  std::vector<Leaf *> FreeLeaves;           ///< recycled leaves
+  size_t TotalBlocks = 0;
+
+  /// 61-entry size-class summary.
+  uint64_t ClassBits = 0;             ///< bit K set iff ClassCount[K] > 0
+  uint32_t ClassCount[NumClasses] = {};
+  Addr ClassMin[NumClasses];          ///< lower bound on min start per class
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_TESTSUPPORT_FLATFREESPACEINDEX_H

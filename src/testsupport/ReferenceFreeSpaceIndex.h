@@ -12,7 +12,7 @@
 /// number of free blocks: an address-ordered map, a size-ordered set
 /// (best fit), and per-size-class address sets (first fit). Slower but
 /// obviously correct; the equivalence property test and the differential
-/// fuzzer's index-parity checker drive both indexes through identical
+/// fuzzer's parity checkers drive both indexes through identical
 /// operation streams and compare every query result.
 ///
 /// Deliberately not linked into the heap/mm/bench layers — only tests and

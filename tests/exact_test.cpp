@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <sstream>
 
@@ -242,6 +243,22 @@ TEST(ExactSolver, DeterministicResolve) {
 
 // --- Witness replay through the real heap -------------------------------
 
+/// Two-word shadow bitboard: wide enough to exercise the heap's span
+/// extraction (occupancyWords/objectStartWords with Count > 1) rather
+/// than the single-word convenience masks.
+struct ShadowBoard {
+  std::array<uint64_t, 2> W{};
+
+  void setRange(unsigned Pos, unsigned Size) {
+    for (unsigned B = Pos; B != Pos + Size; ++B)
+      W[B / 64] |= uint64_t(1) << (B % 64);
+  }
+  void clearRange(unsigned Pos, unsigned Size) {
+    for (unsigned B = Pos; B != Pos + Size; ++B)
+      W[B / 64] &= ~(uint64_t(1) << (B % 64));
+  }
+};
+
 /// Replays \p Witness into a fresh Heap, cross-checking the heap's
 /// occupancy/start bitboards (the canonicalization hooks) against a
 /// mirror maintained from the arena ops, and the c-partial ledger after
@@ -255,15 +272,14 @@ void replayWitness(const ExactParams &P,
   // witness can legally draw on.
   CompactionLedger Ledger(H, P.C == 0 ? 1e18 : double(P.C));
   std::map<unsigned, ObjectId> ByAddr;
-  uint64_t Occ = 0, Starts = 0;
-  const unsigned Bits = 48;
+  ShadowBoard Occ, Starts;
 
   for (const WitnessOp &Op : Witness) {
     switch (Op.Op) {
     case WitnessOp::Kind::Alloc: {
       ByAddr[Op.Addr] = H.place(Op.Addr, Op.Size);
-      Occ |= ((uint64_t(1) << Op.Size) - 1) << Op.Addr;
-      Starts |= uint64_t(1) << Op.Addr;
+      Occ.setRange(Op.Addr, Op.Size);
+      Starts.setRange(Op.Addr, 1);
       break;
     }
     case WitnessOp::Kind::Free: {
@@ -271,8 +287,8 @@ void replayWitness(const ExactParams &P,
       ASSERT_NE(It, ByAddr.end()) << "free of an unknown address";
       EXPECT_EQ(H.object(It->second).Size, Op.Size);
       H.free(It->second);
-      Occ &= ~(((uint64_t(1) << Op.Size) - 1) << Op.Addr);
-      Starts &= ~(uint64_t(1) << Op.Addr);
+      Occ.clearRange(Op.Addr, Op.Size);
+      Starts.clearRange(Op.Addr, 1);
       ByAddr.erase(It);
       break;
     }
@@ -283,18 +299,21 @@ void replayWitness(const ExactParams &P,
       EXPECT_TRUE(Ledger.canMove(Op.Size))
           << "witness move exceeds the c-partial budget";
       H.move(Id, Op.To);
-      Occ &= ~(((uint64_t(1) << Op.Size) - 1) << Op.Addr);
-      Starts &= ~(uint64_t(1) << Op.Addr);
-      Occ |= ((uint64_t(1) << Op.Size) - 1) << Op.To;
-      Starts |= uint64_t(1) << Op.To;
+      Occ.clearRange(Op.Addr, Op.Size);
+      Starts.clearRange(Op.Addr, 1);
+      Occ.setRange(Op.To, Op.Size);
+      Starts.setRange(Op.To, 1);
       ByAddr.erase(It);
       ByAddr[Op.To] = Id;
       break;
     }
     }
     EXPECT_TRUE(H.checkConsistency());
-    EXPECT_EQ(H.occupancyMask(Bits), Occ);
-    EXPECT_EQ(H.objectStartMask(Bits), Starts);
+    std::array<uint64_t, 2> GotOcc{}, GotStarts{};
+    H.occupancyWords(0, GotOcc.size(), GotOcc.data());
+    H.objectStartWords(0, GotStarts.size(), GotStarts.data());
+    EXPECT_EQ(GotOcc, Occ.W);
+    EXPECT_EQ(GotStarts, Starts.W);
     EXPECT_LE(H.stats().LiveWords, P.M) << "witness breached the live bound";
     EXPECT_TRUE(Ledger.holds());
   }

@@ -20,7 +20,7 @@
 #include "driver/Auditors.h"
 #include "driver/TraceIO.h"
 #include "fuzz/DifferentialHarness.h"
-#include "fuzz/IndexParityChecker.h"
+#include "fuzz/HeapParityChecker.h"
 #include "fuzz/InvariantOracle.h"
 #include "fuzz/WorkloadFuzzer.h"
 #include "mm/ManagerFactory.h"
@@ -230,11 +230,11 @@ TEST(InvariantOracle, CatchesDroppedEventInLog) {
   EXPECT_EQ(Out.front().Check, "audit-mismatch");
 }
 
-// --- The index-parity checker ----------------------------------------------
+// --- The heap-parity checker -----------------------------------------------
 
-TEST(IndexParity, CleanMirrorStaysClean) {
+TEST(HeapParity, CleanMirrorStaysClean) {
   Heap H;
-  IndexParityChecker Parity(H);
+  HeapParityChecker Parity(H);
   H.setEventCallback([&](const HeapEvent &E) { Parity.observe(E); });
   FirstFitManager MM(H, 50.0);
   ObjectId A = MM.allocate(8);
@@ -248,9 +248,9 @@ TEST(IndexParity, CleanMirrorStaysClean) {
   EXPECT_TRUE(Out.empty()) << Out.front().describe();
 }
 
-TEST(IndexParity, CatchesDivergentMirror) {
+TEST(HeapParity, CatchesDivergentMirror) {
   Heap H;
-  IndexParityChecker Parity(H);
+  HeapParityChecker Parity(H);
   bool Mirror = true;
   H.setEventCallback([&](const HeapEvent &E) {
     if (Mirror)
@@ -258,13 +258,32 @@ TEST(IndexParity, CatchesDivergentMirror) {
   });
   FirstFitManager MM(H, 50.0);
   ASSERT_NE(MM.allocate(8), InvalidObjectId);
-  Mirror = false; // the mirror misses this allocation: indexes diverge
+  Mirror = false; // the mirror misses this allocation: heaps diverge
   ASSERT_NE(MM.allocate(4), InvalidObjectId);
   std::vector<Violation> Out;
   Parity.checkStep("first-fit", 1, Out);
   ASSERT_FALSE(Out.empty());
-  EXPECT_EQ(Out.front().Check, "index-parity");
+  EXPECT_EQ(Out.front().Check, "heap-parity");
   EXPECT_EQ(Out.front().Policy, "first-fit");
+}
+
+TEST(HeapParity, CatchesObjectTableDivergence) {
+  // A phantom allocate+free pair leaves the mirror's free space exactly
+  // where it started — the old free-index-only checker was blind to
+  // this; the object table and allocation counters give it away.
+  Heap H;
+  HeapParityChecker Parity(H);
+  H.setEventCallback([&](const HeapEvent &E) { Parity.observe(E); });
+  FirstFitManager MM(H, 50.0);
+  ASSERT_NE(MM.allocate(8), InvalidObjectId);
+  H.setEventCallback({});
+  ObjectId Phantom = ObjectId(H.numObjects());
+  Parity.observe(HeapEvent::alloc(Phantom, /*A=*/100, /*Size=*/4));
+  Parity.observe(HeapEvent::release(Phantom, /*A=*/100, /*Size=*/4));
+  std::vector<Violation> Out;
+  Parity.checkStep("first-fit", 1, Out);
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.front().Check, "heap-parity");
 }
 
 // --- The planted-bug experiment --------------------------------------------
@@ -296,10 +315,10 @@ TEST(PlantedBug, OracleCatchesCorruptedEventStream) {
   for (const Violation &V : Report.allViolations())
     SawEventStream |= V.Check == "event-stream";
   EXPECT_TRUE(SawEventStream) << Report.summary();
-  // The corruption lives in the logging layer only; the index-parity
+  // The corruption lives in the logging layer only; the heap-parity
   // mirror watches the real heap and must not be fooled by it.
   for (const Violation &V : Report.allViolations())
-    EXPECT_NE(V.Check, "index-parity") << V.describe();
+    EXPECT_NE(V.Check, "heap-parity") << V.describe();
 }
 
 TEST(PlantedBug, ShrinksToAFewOpsAndWritesAReplayableReproducer) {

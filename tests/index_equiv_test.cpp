@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -157,6 +158,43 @@ TEST(IndexEquivalenceStress, CheckerboardSplitsAndCoalesces) {
   }
   expectBlocksMatch(Fast, Ref, Op);
   EXPECT_EQ(Fast.numBlocks(), 1u);
+}
+
+// Mask extraction at word boundaries: occupancy spans read back from the
+// packed board must agree with per-bit queries for every alignment of
+// the read window — including reads straddling the bit-63 -> bit-64 seam,
+// whole used and whole free words, widths that are not multiples of 64,
+// and windows reaching past the committed prefix (zero-extended).
+TEST(IndexEquivalenceStress, MaskExtractionAtWordBoundaries) {
+  FreeSpaceIndex Fast;
+  const std::vector<std::pair<Addr, uint64_t>> Ranges = {
+      {62, 4},    // straddles the word 0 -> word 1 seam
+      {128, 64},  // exactly word 2, a full used word
+      {193, 63},  // odd start, ends flush at a word boundary
+      {257, 130}, // crosses two boundaries with an odd width
+  };
+  for (auto [S, Sz] : Ranges)
+    Fast.reserve(S, Sz);
+
+  auto CheckWindow = [&](Addr Start) {
+    std::array<uint64_t, 8> Out{};
+    Fast.occupancyWords(Start, Out.size(), Out.data());
+    for (unsigned B = 0; B != unsigned(Out.size()) * 64; ++B) {
+      uint64_t Got = (Out[B / 64] >> (B % 64)) & 1;
+      uint64_t Want = Fast.isFree(Start + B, 1) ? 0 : 1;
+      ASSERT_EQ(Got, Want) << "window at " << Start << ", bit " << B;
+    }
+  };
+  for (Addr Start : {Addr(0), Addr(1), Addr(62), Addr(63), Addr(64),
+                     Addr(127), Addr(128), Addr(200), Addr(384)})
+    CheckWindow(Start);
+
+  // Releasing the seam-straddling and full-word ranges must clear the
+  // same windows bit-for-bit.
+  Fast.release(62, 4);
+  Fast.release(128, 64);
+  for (Addr Start : {Addr(0), Addr(62), Addr(63), Addr(64), Addr(127)})
+    CheckWindow(Start);
 }
 
 } // namespace

@@ -7,7 +7,11 @@ Fails (exit 1) when the fresh run's steps_per_second has regressed by
 more than --max-regression percent (default 20) relative to the
 baseline, or when the two runs measured different grids (comparing
 steps/sec across different grids is meaningless). Also prints the
-per-phase ns_per_call deltas so CI logs show where time moved.
+per-phase ns_per_call deltas so CI logs show where time moved, and
+fails when a substrate phase (heap.*, fsi.*, mm.compact) regressed by
+more than --max-phase-regression percent (default 25): the end-to-end
+number can hide a hot-path regression behind an unrelated win, the
+per-phase gate cannot.
 """
 
 import argparse
@@ -26,6 +30,10 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--max-regression", type=float, default=20.0,
                     help="maximum steps_per_second drop, in percent")
+    ap.add_argument("--max-phase-regression", type=float, default=25.0,
+                    help="maximum ns_per_call growth for the gated "
+                         "substrate phases (heap.*, fsi.*, mm.compact), "
+                         "in percent")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -43,6 +51,11 @@ def main():
     change = 100.0 * (f - b) / b
     print(f"steps_per_second: baseline {b}, fresh {f} ({change:+.1f}%)")
 
+    def gated(section):
+        return (section.startswith("heap.") or section.startswith("fsi.")
+                or section == "mm.compact")
+
+    failed = False
     base_phases = {p["section"]: p for p in base.get("per_phase", [])}
     for p in fresh.get("per_phase", []):
         bp = base_phases.get(p["section"])
@@ -51,10 +64,19 @@ def main():
         d = p["ns_per_call"] - bp["ns_per_call"]
         print(f"  {p['section']:>12}: {bp['ns_per_call']:>10.1f} -> "
               f"{p['ns_per_call']:>10.1f} ns/call ({d:+.1f})")
+        if gated(p["section"]) and bp["ns_per_call"] > 0:
+            growth = 100.0 * d / bp["ns_per_call"]
+            if growth > args.max_phase_regression:
+                print(f"error: {p['section']} ns_per_call regressed "
+                      f"{growth:.1f}% (> {args.max_phase_regression}% "
+                      f"allowed)", file=sys.stderr)
+                failed = True
 
     if change < -args.max_regression:
         print(f"error: steps_per_second regressed {-change:.1f}% "
               f"(> {args.max_regression}% allowed)", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("bench comparison OK")
     return 0

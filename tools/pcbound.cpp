@@ -558,9 +558,11 @@ int cmdFuzz(const OptionParser &Opts) {
   HO.Policies = Policies;
   HO.C = C;
   HO.DeepCheckEvery = Deep;
-  // index-oracle=0 drops the per-step live-vs-reference free-index
+  // heap-oracle=0 drops the per-step live-vs-reference full-heap
   // cross-check (on by default; the CI fuzz smoke relies on it).
-  HO.IndexParity = Opts.getBool("index-oracle", true);
+  // index-oracle is the flag's pre-promotion name, kept as an alias.
+  HO.HeapParity =
+      Opts.getBool("heap-oracle", Opts.getBool("index-oracle", true));
   DifferentialHarness Harness(HO);
 
   RunnerOptions RO;
