@@ -99,7 +99,8 @@ int main(int argc, char **argv) {
   // within each c group).
   const std::string Reference = "sliding-unlimited*";
   std::vector<std::string> Policies = {"first-fit",  "best-fit",
-                                       "segregated-fit", "evacuating",
+                                       "segregated-fit", "chunked",
+                                       "meshing",    "evacuating",
                                        "hybrid",     "sliding",
                                        "paged-space",
                                        "bump-compactor", Reference};

@@ -214,6 +214,33 @@ void Heap::occupancyWords(Addr Start, size_t Count, uint64_t *Out) const {
   Free.occupancyWords(Start, Count, Out);
 }
 
+bool Heap::occupancyDisjoint(Addr A, Addr B, uint64_t Size) const {
+  assert(Size != 0 && "empty disjointness probe");
+  if ((A | B) % WordBits == 0 && Size % WordBits == 0) {
+    // Aligned probe: one AND per word, straight off the occupancy board.
+    uint64_t Words = Size / WordBits;
+    for (uint64_t I = 0; I != Words; ++I)
+      if (Free.occupancyWord(A / WordBits + I) &
+          Free.occupancyWord(B / WordBits + I))
+        return false;
+    return true;
+  }
+  // Unaligned ranges gather both masks and AND them wordwise.
+  size_t Words = size_t((Size + WordBits - 1) / WordBits);
+  std::vector<uint64_t> MaskA(Words), MaskB(Words);
+  occupancyWords(A, Words, MaskA.data());
+  occupancyWords(B, Words, MaskB.data());
+  if (Size % WordBits != 0) {
+    uint64_t Keep = lowMask(unsigned(Size % WordBits));
+    MaskA[Words - 1] &= Keep;
+    MaskB[Words - 1] &= Keep;
+  }
+  for (size_t I = 0; I != Words; ++I)
+    if (MaskA[I] & MaskB[I])
+      return false;
+  return true;
+}
+
 void Heap::objectStartWords(Addr Start, size_t Count, uint64_t *Out) const {
   StartBits.extract(Start, Count, Out);
   if (HighObjects.empty())

@@ -162,6 +162,13 @@ public:
   /// occupancyWords.
   void objectStartWords(Addr Start, size_t Count, uint64_t *Out) const;
 
+  /// True if the occupancy of [A, A + Size) and [B, B + Size) never uses
+  /// the same offset: for every i < Size, at most one of A + i and B + i
+  /// is covered by a live object. This is the meshing probe — for
+  /// 64-aligned ranges it is a word-AND per 64 addresses straight off the
+  /// occupancy board, no per-cell work.
+  bool occupancyDisjoint(Addr A, Addr B, uint64_t Size) const;
+
   /// Ids of live objects intersecting [Start, Start + Size), in address
   /// order. O(log live + matches).
   std::vector<ObjectId> liveObjectsIn(Addr Start, uint64_t Size) const;

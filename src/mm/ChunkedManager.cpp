@@ -1,0 +1,210 @@
+//===- mm/ChunkedManager.cpp - Counter-driven chunked heap ----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/ChunkedManager.h"
+
+#include "obs/Profiler.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace pcb;
+
+void ChunkedManager::checkOpts() const {
+  assert(Opts.ChunkLog >= 1 && Opts.ChunkLog < 32 &&
+         "unreasonable chunk size");
+  assert(Opts.GarbageThreshold > 0.0 && "threshold must be positive");
+}
+
+ChunkedManager::ChunkInfo &ChunkedManager::chunk(uint64_t Index) {
+  if (Index >= Chunks.size())
+    Chunks.resize(Index + 1);
+  return Chunks[Index];
+}
+
+void ChunkedManager::retireCurrent() {
+  assert(Cur != UINT64_MAX && "no open chunk to retire");
+  ChunkInfo &Ch = Chunks[Cur];
+  assert(Ch.State == ChunkState::Open && "retiring a non-open chunk");
+  Ch.State = ChunkState::Retired;
+  if (Ch.Freed == Ch.Bump)
+    releaseChunk(Cur); // already wholly garbage: recycle for free
+  else if (triggered(Ch))
+    Pending.insert(Cur);
+  Cur = UINT64_MAX;
+}
+
+void ChunkedManager::openChunk() {
+  assert(Cur == UINT64_MAX && "opening over an open chunk");
+  uint64_t Index;
+  if (!FreeChunks.empty()) {
+    Index = *FreeChunks.begin();
+    FreeChunks.erase(FreeChunks.begin());
+  } else {
+    Index = Frontier++;
+  }
+  ChunkInfo &Ch = chunk(Index);
+  assert(Ch.State == ChunkState::Free && "opening a non-free chunk");
+  assert(Ch.Bump == 0 && Ch.Freed == 0 && "stale counters on a free chunk");
+  Ch.State = ChunkState::Open;
+  Cur = Index;
+}
+
+void ChunkedManager::releaseChunk(uint64_t Index) {
+  ChunkInfo &Ch = Chunks[Index];
+  Ch.State = ChunkState::Free;
+  Ch.Bump = 0;
+  Ch.Freed = 0;
+  FreeChunks.insert(Index);
+  Pending.erase(Index);
+}
+
+Addr ChunkedManager::bumpDest(uint64_t Size) {
+  assert(Size <= chunkSize() && "bump request exceeds a chunk");
+  if (Cur != UINT64_MAX && chunkSize() - Chunks[Cur].Bump < Size)
+    retireCurrent();
+  if (Cur == UINT64_MAX)
+    openChunk();
+  return startOf(Cur) + Chunks[Cur].Bump;
+}
+
+Addr ChunkedManager::placeHumongous(uint64_t Size) {
+  uint64_t RunLen = ceilDiv(Size, chunkSize());
+  // Find the lowest run of RunLen consecutive free chunks.
+  uint64_t RunStart = UINT64_MAX;
+  uint64_t Count = 0;
+  uint64_t Prev = UINT64_MAX;
+  for (uint64_t Index : FreeChunks) {
+    if (Prev != UINT64_MAX && Index == Prev + 1) {
+      ++Count;
+    } else {
+      RunStart = Index;
+      Count = 1;
+    }
+    Prev = Index;
+    if (Count == RunLen)
+      break;
+  }
+  uint64_t Head;
+  if (Count == RunLen) {
+    Head = RunStart;
+    for (uint64_t K = 0; K != RunLen; ++K)
+      FreeChunks.erase(Head + K);
+  } else {
+    Head = Frontier;
+    Frontier += RunLen;
+    chunk(Head + RunLen - 1); // materialize the run
+  }
+  ChunkInfo &HeadInfo = chunk(Head);
+  HeadInfo.State = ChunkState::Humongous;
+  HeadInfo.RunLength = RunLen;
+  for (uint64_t K = 1; K != RunLen; ++K)
+    chunk(Head + K).State = ChunkState::HumongousTail;
+  return startOf(Head);
+}
+
+void ChunkedManager::processTriggers() {
+  if (Pending.empty())
+    return;
+  // A drain that died on the budget is not retried until it grows.
+  if (LastDeniedBudget != UINT64_MAX &&
+      compactionBudget() <= LastDeniedBudget)
+    return;
+  ScopedTimer Timer(Profiler::SecChunkTrigger);
+  Profiler::bump(Profiler::CtrCompactionPasses);
+  while (!Pending.empty()) {
+    uint64_t Victim = *Pending.begin();
+    if (!evacuateChunk(Victim)) {
+      LastDeniedBudget = compactionBudget();
+      return;
+    }
+  }
+  LastDeniedBudget = UINT64_MAX;
+}
+
+bool ChunkedManager::evacuateChunk(uint64_t Victim) {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  ChunkInfo &Ch = Chunks[Victim];
+  assert(Ch.State == ChunkState::Retired && "evacuating a non-retired chunk");
+  assert(Ch.Bump > Ch.Freed && "evacuating a wholly-garbage chunk");
+  // The ledger is charged only for the survivors; refuse the whole chunk
+  // when they do not fit the remaining budget (a partial evacuation
+  // would spend budget without recycling the chunk).
+  if (!ledger().canMove(Ch.Bump - Ch.Freed))
+    return false;
+  for (ObjectId Id : heap().liveObjectsIn(startOf(Victim), chunkSize())) {
+    // Bump placement never straddles chunks, so every resident is wholly
+    // inside the victim.
+    Addr Dest = bumpDest(heap().object(Id).Size);
+    bool Moved = tryMoveObject(Id, Dest);
+    assert(Moved && "pre-checked evacuation exceeded the budget");
+    if (!Moved)
+      return false;
+  }
+  // The last departure released the victim through onFreeing.
+  assert(Chunks[Victim].State == ChunkState::Free &&
+         "evacuated chunk did not empty");
+  Profiler::bump(Profiler::CtrChunkEvacuations);
+  ++NumEvacuations;
+  return true;
+}
+
+Addr ChunkedManager::placeFor(uint64_t Size) {
+  processTriggers();
+  if (Size > chunkSize())
+    return placeHumongous(Size);
+  return bumpDest(Size);
+}
+
+void ChunkedManager::onPlaced(ObjectId Id) {
+  const Object &O = heap().object(Id);
+  uint64_t Index = O.Address >> Opts.ChunkLog;
+  ChunkInfo &Ch = chunk(Index);
+  if (O.Size > chunkSize()) {
+    assert(Ch.State == ChunkState::Humongous &&
+           O.Address == startOf(Index) && "humongous object off its run");
+    return;
+  }
+  assert(Index == Cur && Ch.State == ChunkState::Open &&
+         "placement outside the open chunk");
+  assert(O.Address == startOf(Index) + Ch.Bump &&
+         "placement off the bump pointer");
+  Ch.Bump += O.Size;
+  assert(Ch.Bump <= chunkSize() && "bump counter overran the chunk");
+}
+
+void ChunkedManager::onFreeing(ObjectId Id) {
+  const Object &O = heap().object(Id);
+  uint64_t Index = O.Address >> Opts.ChunkLog;
+  ChunkInfo &Ch = Chunks[Index];
+
+  if (Ch.State == ChunkState::Humongous) {
+    assert(O.Address == startOf(Index) && "humongous object off its run");
+    // Copy the length first: the first iteration clears the head's own
+    // RunLength field.
+    uint64_t RunLength = Ch.RunLength;
+    for (uint64_t K = 0; K != RunLength; ++K) {
+      Chunks[Index + K].State = ChunkState::Free;
+      Chunks[Index + K].RunLength = 0;
+      FreeChunks.insert(Index + K);
+    }
+    return;
+  }
+
+  assert((Ch.State == ChunkState::Open || Ch.State == ChunkState::Retired) &&
+         "free from a chunk that is not in use");
+  Ch.Freed += O.Size;
+  assert(Ch.Freed <= Ch.Bump && "freed counter overran the bump counter");
+  if (Ch.State != ChunkState::Retired)
+    return; // the open chunk is never released or queued while open
+  if (Ch.Freed == Ch.Bump) {
+    releaseChunk(Index);
+    return;
+  }
+  if (triggered(Ch))
+    Pending.insert(Index);
+}

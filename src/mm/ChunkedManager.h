@@ -1,0 +1,150 @@
+//===- mm/ChunkedManager.h - Counter-driven chunked heap --------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator in the style of the qp-trie allocator's
+/// chunked design (see SNIPPETS.md): the address space is carved into
+/// fixed-size chunks; allocation bumps through one open chunk at a time,
+/// and every chunk keeps two counters — words ever bump-allocated in its
+/// current cycle and words freed since. Their difference is the chunk's
+/// live volume, so the garbage share of any chunk is known in O(1)
+/// without scanning the heap.
+///
+/// Compaction is triggered *per chunk*: the moment a retired chunk's
+/// freed-word counter reaches GarbageThreshold * chunkSize, the chunk is
+/// queued, and at the next allocation its survivors are bump-evacuated
+/// into the open chunk and the emptied chunk returns to a free pool. The
+/// ledger is charged only for the moved words (the survivors), never for
+/// the garbage — exactly the c-partial accounting of Section 2.1. A
+/// wholly-garbage chunk is recycled for free.
+///
+/// Objects never straddle chunks: requests larger than a chunk take a
+/// dedicated contiguous run of chunks (never compacted), everything else
+/// fits the bump remainder of the open chunk or retires it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_MM_CHUNKEDMANAGER_H
+#define PCBOUND_MM_CHUNKEDMANAGER_H
+
+#include "mm/MemoryManager.h"
+
+#include <set>
+#include <vector>
+
+namespace pcb {
+
+/// Chunked bump allocator with O(1) per-chunk garbage accounting and
+/// threshold-triggered per-chunk evacuation.
+class ChunkedManager : public MemoryManager {
+public:
+  struct Options {
+    /// log2 of the chunk size in words.
+    unsigned ChunkLog = 8;
+    /// A retired chunk is queued for evacuation as soon as its freed
+    /// counter reaches this share of the chunk size (inclusive: a chunk
+    /// exactly at the boundary triggers).
+    double GarbageThreshold = 0.5;
+  };
+
+  ChunkedManager(Heap &H, double C) : MemoryManager(H, C) { checkOpts(); }
+  ChunkedManager(Heap &H, double C, const Options &O)
+      : MemoryManager(H, C), Opts(O) {
+    checkOpts();
+  }
+
+  std::string name() const override { return "chunked"; }
+
+  uint64_t chunkSize() const { return uint64_t(1) << Opts.ChunkLog; }
+  uint64_t numChunkEvacuations() const { return NumEvacuations; }
+  uint64_t numPendingTriggers() const { return Pending.size(); }
+  uint64_t numFreeChunks() const { return FreeChunks.size(); }
+
+  /// The two per-chunk counters, exposed for the accounting tests.
+  struct Counters {
+    uint64_t Bump;  ///< words ever bump-allocated this cycle
+    uint64_t Freed; ///< words freed (or moved out) since
+  };
+  Counters countersAt(Addr A) const {
+    uint64_t Index = A >> Opts.ChunkLog;
+    if (Index >= Chunks.size())
+      return {0, 0};
+    return {Chunks[Index].Bump, Chunks[Index].Freed};
+  }
+
+protected:
+  Addr placeFor(uint64_t Size) override;
+  void onPlaced(ObjectId Id) override;
+  void onFreeing(ObjectId Id) override;
+
+private:
+  enum class ChunkState : uint8_t { Free, Open, Retired, Humongous,
+                                    HumongousTail };
+
+  struct ChunkInfo {
+    ChunkState State = ChunkState::Free;
+    uint64_t Bump = 0;      ///< words ever bump-allocated this cycle
+    uint64_t Freed = 0;     ///< words freed (or moved out) since
+    uint64_t RunLength = 0; ///< chunks in the run (Humongous head only)
+  };
+
+  void checkOpts() const;
+
+  Addr startOf(uint64_t Index) const { return Index << Opts.ChunkLog; }
+
+  /// Ensures chunk \p Index exists in the table.
+  ChunkInfo &chunk(uint64_t Index);
+
+  /// The trigger rule: freed words at or above the garbage-share
+  /// boundary.
+  bool triggered(const ChunkInfo &Ch) const {
+    return double(Ch.Freed) >= Opts.GarbageThreshold * double(chunkSize());
+  }
+
+  /// Retires the open chunk (releasing it at once when it is already
+  /// wholly garbage, queueing it when its trigger already fired).
+  void retireCurrent();
+
+  /// Opens a chunk for bump allocation (lowest free chunk, else the
+  /// frontier).
+  void openChunk();
+
+  /// Returns an emptied chunk to the free pool and resets its counters.
+  void releaseChunk(uint64_t Index);
+
+  /// Bump-allocation address for \p Size <= chunkSize() words, retiring
+  /// and opening chunks as needed. Placements and evacuation
+  /// destinations share this path.
+  Addr bumpDest(uint64_t Size);
+
+  /// Dedicated contiguous chunk run for \p Size > chunkSize() words.
+  Addr placeHumongous(uint64_t Size);
+
+  /// Drains the pending-trigger queue (unless a previous drain died on
+  /// the budget and it has not grown since).
+  void processTriggers();
+
+  /// Moves the survivors of \p Victim out through the bump path; true
+  /// when the chunk emptied.
+  bool evacuateChunk(uint64_t Victim);
+
+  Options Opts;
+  std::vector<ChunkInfo> Chunks;
+  std::set<uint64_t> FreeChunks;
+  uint64_t Frontier = 0;      ///< first never-carved chunk index
+  uint64_t Cur = UINT64_MAX;  ///< the open bump chunk, or none
+  /// Retired chunks whose trigger fired, awaiting evacuation.
+  std::set<uint64_t> Pending;
+  /// compactionBudget() at the last budget-denied drain; draining again
+  /// is pointless until the budget grows past it.
+  uint64_t LastDeniedBudget = UINT64_MAX;
+  uint64_t NumEvacuations = 0;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_MM_CHUNKEDMANAGER_H

@@ -9,8 +9,10 @@
 
 #include "mm/BuddyManager.h"
 #include "mm/BumpCompactor.h"
+#include "mm/ChunkedManager.h"
 #include "mm/EvacuatingCompactor.h"
 #include "mm/HybridManager.h"
+#include "mm/MeshingCompactor.h"
 #include "mm/PagedSpaceManager.h"
 #include "mm/SegregatedFitManager.h"
 #include "mm/SequentialFitManagers.h"
@@ -37,6 +39,10 @@ std::unique_ptr<MemoryManager> pcb::createManager(const std::string &Policy,
     return std::make_unique<SegregatedFitManager>(H, C);
   if (Policy == "paged-space")
     return std::make_unique<PagedSpaceManager>(H, C);
+  if (Policy == "chunked")
+    return std::make_unique<ChunkedManager>(H, C);
+  if (Policy == "meshing")
+    return std::make_unique<MeshingCompactor>(H, C);
   if (Policy == "evacuating")
     return std::make_unique<EvacuatingCompactor>(H, C);
   if (Policy == "hybrid")
@@ -82,9 +88,9 @@ std::string pcb::managerPolicyList() {
 std::vector<std::string> pcb::allManagerPolicies() {
   return {"first-fit",      "best-fit",       "next-fit",
           "worst-fit",      "aligned-fit",    "buddy",
-          "segregated-fit", "evacuating",     "hybrid",
-          "paged-space",    "sliding",        "sliding-unlimited",
-          "bump-compactor"};
+          "segregated-fit", "chunked",        "meshing",
+          "evacuating",     "hybrid",         "paged-space",
+          "sliding",        "sliding-unlimited", "bump-compactor"};
 }
 
 std::vector<std::string> pcb::nonMovingManagerPolicies() {
@@ -93,8 +99,8 @@ std::vector<std::string> pcb::nonMovingManagerPolicies() {
 }
 
 std::vector<std::string> pcb::compactingManagerPolicies() {
-  return {"evacuating", "hybrid", "paged-space", "sliding",
-          "bump-compactor"};
+  return {"chunked",     "meshing", "evacuating",     "hybrid",
+          "paged-space", "sliding", "bump-compactor"};
 }
 
 bool pcb::isNonMovingPolicy(const std::string &Policy) {

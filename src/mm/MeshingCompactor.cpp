@@ -1,0 +1,155 @@
+//===- mm/MeshingCompactor.cpp - Bitboard chunk meshing -------------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mm/MeshingCompactor.h"
+
+#include "obs/Profiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace pcb;
+
+void MeshingCompactor::checkOpts() const {
+  assert(Opts.ChunkLog >= 1 && Opts.ChunkLog < 32 &&
+         "unreasonable chunk size");
+  assert(Opts.MaxProbePairs != 0 && Opts.MaxMerges != 0 &&
+         "a mesh pass must be allowed to do something");
+}
+
+bool MeshingCompactor::chunkSelfContained(uint64_t Index) const {
+  // An object straddles *into* a chunk iff the chunk's first word is
+  // occupied but no object starts there; a straddler *out of* the chunk
+  // is a straddler into the next one.
+  auto StraddlesInto = [&](Addr Start) {
+    uint64_t Occ, Starts;
+    heap().occupancyWords(Start, 1, &Occ);
+    heap().objectStartWords(Start, 1, &Starts);
+    return (Occ & 1) != 0 && (Starts & 1) == 0;
+  };
+  return !StraddlesInto(startOf(Index)) && !StraddlesInto(startOf(Index + 1));
+}
+
+void MeshingCompactor::mergeChunks(uint64_t Src, uint64_t Dst) {
+  assert(Src != Dst && "meshing a chunk with itself");
+  Addr SrcStart = startOf(Src);
+  Addr DstStart = startOf(Dst);
+  assert(heap().usedWordsIn(SrcStart, chunkSize()) != 0 &&
+         "meshing an empty source chunk");
+  assert(heap().occupancyDisjoint(SrcStart, DstStart, chunkSize()) &&
+         "meshing chunks with overlapping occupancy");
+  for (ObjectId Id : heap().liveObjectsIn(SrcStart, chunkSize())) {
+    const Object &O = heap().object(Id);
+    assert(O.Address >= SrcStart &&
+           O.Address + O.Size <= SrcStart + chunkSize() &&
+           "mesh source object straddles the chunk");
+    // Disjointness makes the mirror offset free in the destination.
+    bool Moved = tryMoveObject(Id, DstStart + (O.Address - SrcStart));
+    assert(Moved && "mesh merge exceeded the compaction budget");
+    (void)Moved;
+  }
+  ++NumMerges;
+  Profiler::bump(Profiler::CtrMeshMerges);
+}
+
+bool MeshingCompactor::meshPass() {
+  ScopedTimer Timer(Profiler::SecCompaction);
+  Profiler::bump(Profiler::CtrCompactionPasses);
+  if (FailedPassSignature == heapChangeSignature())
+    return false;
+
+  // Candidates: partially occupied chunks wholly below the high-water
+  // mark. Full chunks can only mesh with empty ones (pointless), empty
+  // ones are already holes.
+  struct Candidate {
+    uint64_t Index;
+    uint64_t Live;
+  };
+  std::vector<Candidate> Cands;
+  uint64_t NumChunks = heap().stats().HighWaterMark >> Opts.ChunkLog;
+  for (uint64_t K = 0; K != NumChunks; ++K) {
+    uint64_t Used = heap().usedWordsIn(startOf(K), chunkSize());
+    if (Used != 0 && Used != chunkSize())
+      Cands.push_back({K, Used});
+  }
+  // Lightest sources first: the source popcount is the exact ledger
+  // cost of its merge.
+  std::stable_sort(Cands.begin(), Cands.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.Live < B.Live;
+                   });
+
+  uint64_t Merges = 0;
+  uint64_t Probes = 0;
+  std::vector<bool> Consumed(Cands.size(), false);
+  for (size_t S = 0; S != Cands.size() && Merges != Opts.MaxMerges &&
+                     Probes != Opts.MaxProbePairs;
+       ++S) {
+    if (Consumed[S])
+      continue;
+    // Candidates are sorted: if the lightest source is over budget,
+    // every remaining one is too.
+    if (!ledger().canMove(Cands[S].Live))
+      break;
+    if (!chunkSelfContained(Cands[S].Index)) {
+      Consumed[S] = true;
+      continue;
+    }
+    // Probe the densest partners first so merges pack tightly.
+    for (size_t D = Cands.size(); D-- > S + 1 && Probes != Opts.MaxProbePairs;) {
+      if (Consumed[D])
+        continue;
+      ++Probes;
+      bool Disjoint;
+      {
+        ScopedTimer ProbeTimer(Profiler::SecMeshProbe);
+        Profiler::bump(Profiler::CtrMeshProbes);
+        Disjoint = heap().occupancyDisjoint(startOf(Cands[S].Index),
+                                            startOf(Cands[D].Index),
+                                            chunkSize());
+      }
+      if (!Disjoint)
+        continue;
+      mergeChunks(Cands[S].Index, Cands[D].Index);
+      // Both chunks' occupancy changed; retire them from this pass.
+      Consumed[S] = Consumed[D] = true;
+      ++Merges;
+      break;
+    }
+  }
+  NumProbes += Probes;
+  if (Merges == 0) {
+    FailedPassSignature = heapChangeSignature();
+    return false;
+  }
+  FailedPassSignature = UINT64_MAX;
+  return true;
+}
+
+Addr MeshingCompactor::placeFor(uint64_t Size) {
+  const FreeSpaceIndex &Free = heap().freeSpace();
+  Addr Hwm = heap().stats().HighWaterMark;
+
+  // Reuse an existing hole whenever one fits below the high-water mark:
+  // that never costs budget and never grows the footprint.
+  if (Hwm >= Size) {
+    Addr A = Free.firstFitBelow(Size, Hwm);
+    if (A != InvalidAddr)
+      return A;
+    // Meshing empties whole chunks; retry the fit after a productive
+    // pass.
+    if (meshPass()) {
+      A = Free.firstFitBelow(Size, Hwm);
+      if (A != InvalidAddr)
+        return A;
+    }
+  }
+
+  // Give up and extend the heap.
+  return Free.firstFit(Size);
+}

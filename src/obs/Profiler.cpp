@@ -27,6 +27,10 @@ const char *Profiler::sectionName(Section S) {
     return "fsi.release";
   case SecCompaction:
     return "mm.compact";
+  case SecMeshProbe:
+    return "mm.mesh_probe";
+  case SecChunkTrigger:
+    return "mm.chunk_trigger";
   case SecStep:
     return "exec.step";
   case NumSections:
@@ -41,6 +45,12 @@ const char *Profiler::counterName(Counter C) {
     return "fit.probes";
   case CtrCompactionPasses:
     return "compaction.passes";
+  case CtrMeshProbes:
+    return "mesh.probes";
+  case CtrMeshMerges:
+    return "mesh.merges";
+  case CtrChunkEvacuations:
+    return "chunk.evacuations";
   case CtrTimelineSamples:
     return "timeline.samples";
   case NumCounters:

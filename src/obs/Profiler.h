@@ -52,16 +52,21 @@ public:
     SecHeapMove,    ///< Heap::move
     SecFreeReserve, ///< FreeSpaceIndex::reserve
     SecFreeRelease, ///< FreeSpaceIndex::release
-    SecCompaction,  ///< a manager's compaction routine
-    SecStep,        ///< Execution::runStep (program + manager + checks)
+    SecCompaction,   ///< a manager's compaction routine
+    SecMeshProbe,    ///< MeshingCompactor's word-AND disjointness probes
+    SecChunkTrigger, ///< ChunkedManager's per-chunk trigger processing
+    SecStep,         ///< Execution::runStep (program + manager + checks)
     NumSections
   };
 
   /// Counters without a duration.
   enum Counter : unsigned {
-    CtrFitProbes,        ///< boundary-class blocks probed by fit searches
-    CtrCompactionPasses, ///< compaction routine invocations
-    CtrTimelineSamples,  ///< points recorded by a TimelineSampler
+    CtrFitProbes,         ///< boundary-class blocks probed by fit searches
+    CtrCompactionPasses,  ///< compaction routine invocations
+    CtrMeshProbes,        ///< chunk pairs probed for occupancy disjointness
+    CtrMeshMerges,        ///< chunk pairs merged by the meshing compactor
+    CtrChunkEvacuations,  ///< chunks evacuated by the chunked manager
+    CtrTimelineSamples,   ///< points recorded by a TimelineSampler
     NumCounters
   };
 

@@ -104,8 +104,10 @@ TEST(CrossCheck, SimulatedPfClearsTheoremOneOnTheBaselineGrid) {
   // row: that one is deliberately not c-partial and is the only row the
   // bench allows below h.
   const std::vector<std::string> Policies = {
-      "first-fit", "best-fit",   "segregated-fit", "evacuating",
-      "hybrid",    "sliding",    "paged-space",    "bump-compactor"};
+      "first-fit", "best-fit",    "segregated-fit",
+      "chunked",   "meshing",     "evacuating",
+      "hybrid",    "sliding",     "paged-space",
+      "bump-compactor"};
 
   for (double C : Grid.Cs) {
     BoundParams P{M, N, C};

@@ -6,10 +6,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "mm/BuddyManager.h"
+#include "mm/ChunkedManager.h"
 #include "mm/CompactionLedger.h"
 #include "mm/EvacuatingCompactor.h"
 #include "mm/HybridManager.h"
 #include "mm/ManagerFactory.h"
+#include "mm/MeshingCompactor.h"
 #include "mm/PagedSpaceManager.h"
 #include "mm/SegregatedFitManager.h"
 #include "mm/SequentialFitManagers.h"
@@ -523,6 +525,210 @@ TEST(MoveCallback, ImmediateFreeOnMove) {
   EXPECT_TRUE(MM.ledger().holds());
 }
 
+// --- Chunked manager: counters, triggers, humongous runs ------------------
+
+TEST(Chunked, BumpsWithinChunksWithoutStraddling) {
+  Heap H;
+  ChunkedManager::Options Opts;
+  Opts.ChunkLog = 4; // 16-word chunks
+  ChunkedManager MM(H, 10.0, Opts);
+  ObjectId A = MM.allocate(6);
+  ObjectId B = MM.allocate(6);
+  // 4 words remain in chunk 0: a 6-word request must retire it and open
+  // chunk 1 rather than straddle the boundary.
+  ObjectId C = MM.allocate(6);
+  EXPECT_EQ(H.object(A).Address, 0u);
+  EXPECT_EQ(H.object(B).Address, 6u);
+  EXPECT_EQ(H.object(C).Address, 16u);
+  EXPECT_EQ(MM.countersAt(0).Bump, 12u);
+  EXPECT_EQ(MM.countersAt(16).Bump, 6u);
+  EXPECT_EQ(MM.countersAt(0).Freed, 0u);
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Chunked, FreedCounterSaturatesAndRecyclesWithoutMoves) {
+  // Counter saturation: Freed climbing all the way to Bump must release
+  // the chunk (garbage collection for free — no moved words) and reset
+  // both counters for its next cycle.
+  Heap H;
+  ChunkedManager::Options Opts;
+  Opts.ChunkLog = 4;
+  ChunkedManager MM(H, 10.0, Opts);
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 4; ++I)
+    Ids.push_back(MM.allocate(4)); // fills chunk 0 exactly
+  MM.allocate(1);                  // retires chunk 0, opens chunk 1
+  EXPECT_EQ(MM.countersAt(0).Bump, 16u);
+  for (ObjectId Id : Ids)
+    MM.free(Id);
+  // Freed == Bump: released on the last free, counters back to zero, and
+  // the transient trigger (Freed crossed the threshold mid-way) is gone.
+  EXPECT_EQ(MM.numFreeChunks(), 1u);
+  EXPECT_EQ(MM.numPendingTriggers(), 0u);
+  EXPECT_EQ(MM.countersAt(0).Bump, 0u);
+  EXPECT_EQ(MM.countersAt(0).Freed, 0u);
+  EXPECT_EQ(H.stats().MovedWords, 0u);
+  // The recycled chunk is the next one opened (lowest-first).
+  ObjectId Reuse = MM.allocate(16);
+  EXPECT_EQ(H.object(Reuse).Address, 0u);
+  EXPECT_EQ(H.stats().MovedWords, 0u);
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Chunked, TriggerFiresExactlyAtTheGarbageShareBoundary) {
+  // The trigger rule is inclusive: freed words == threshold * chunk size
+  // queues the chunk; one word short does not.
+  Heap H;
+  ChunkedManager::Options Opts;
+  Opts.ChunkLog = 4;            // 16-word chunks
+  Opts.GarbageThreshold = 0.5;  // boundary at exactly 8 freed words
+  ChunkedManager MM(H, 2.0, Opts);
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(MM.allocate(1));
+  MM.allocate(1); // retires chunk 0
+  for (int I = 0; I != 7; ++I)
+    MM.free(Ids[I]);
+  EXPECT_EQ(MM.numPendingTriggers(), 0u) << "7/16 < 0.5 must not trigger";
+  MM.free(Ids[7]);
+  EXPECT_EQ(MM.numPendingTriggers(), 1u) << "8/16 == 0.5 must trigger";
+  // The next allocation drains the queue: 8 survivors move, within the
+  // budget floor(17/2) = 8.
+  MM.allocate(1);
+  EXPECT_EQ(MM.numChunkEvacuations(), 1u);
+  EXPECT_EQ(MM.numPendingTriggers(), 0u);
+  EXPECT_EQ(H.stats().MovedWords, 8u);
+  EXPECT_GE(MM.numFreeChunks(), 1u);
+  EXPECT_TRUE(MM.ledger().holds());
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Chunked, HumongousRunsDedicateChunksAndRecycle) {
+  Heap H;
+  ChunkedManager::Options Opts;
+  Opts.ChunkLog = 4;
+  ChunkedManager MM(H, 10.0, Opts);
+  ObjectId Big = MM.allocate(40); // 3 dedicated chunks
+  EXPECT_EQ(H.object(Big).Address, 0u);
+  MM.free(Big);
+  EXPECT_EQ(MM.numFreeChunks(), 3u);
+  // A small allocation reuses the lowest recycled chunk; a second
+  // humongous request no longer finds 3 consecutive free chunks and must
+  // take a fresh run at the frontier.
+  ObjectId Small = MM.allocate(4);
+  EXPECT_EQ(H.object(Small).Address, 0u);
+  ObjectId Big2 = MM.allocate(40);
+  EXPECT_EQ(H.object(Big2).Address, 48u);
+  EXPECT_EQ(H.stats().MovedWords, 0u) << "humongous runs are never moved";
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Chunked, BudgetDeniedTriggerWaitsForTheBudgetToGrow) {
+  Heap H;
+  ChunkedManager::Options Opts;
+  Opts.ChunkLog = 4;
+  ChunkedManager MM(H, 1000.0, Opts); // budget: 1 word per 1000 allocated
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(MM.allocate(1));
+  MM.allocate(1); // retires chunk 0
+  for (int I = 0; I != 8; ++I)
+    MM.free(Ids[I]);
+  ASSERT_EQ(MM.numPendingTriggers(), 1u);
+  // Draining needs 8 words of budget; floor(18/1000) = 0. The trigger
+  // must stay queued, untouched, not half-evacuated.
+  MM.free(MM.allocate(1));
+  EXPECT_EQ(MM.numChunkEvacuations(), 0u);
+  EXPECT_EQ(H.stats().MovedWords, 0u);
+  EXPECT_EQ(MM.numPendingTriggers(), 1u);
+  // Churn until the budget covers the survivors, then the queued chunk
+  // finally drains.
+  for (int I = 0; I != 520; ++I)
+    MM.free(MM.allocate(16));
+  EXPECT_EQ(MM.numChunkEvacuations(), 1u);
+  EXPECT_EQ(MM.numPendingTriggers(), 0u);
+  EXPECT_EQ(H.stats().MovedWords, 8u);
+  EXPECT_TRUE(MM.ledger().holds());
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+// --- Meshing compactor: probes, merges, edge addresses --------------------
+
+TEST(Meshing, MergesDisjointChunksInsteadOfGrowing) {
+  Heap H;
+  MeshingCompactor MM(H, 4.0); // budget floor(128/4) = 32: exactly one merge
+  // Two 64-word chunks of 8 x 8-word slots; free chunk 0's odd slots and
+  // chunk 1's even slots so their occupancies interleave disjointly.
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(MM.allocate(8));
+  for (int I = 1; I < 8; I += 2)
+    MM.free(Ids[I]);
+  for (int I = 8; I < 16; I += 2)
+    MM.free(Ids[I]);
+  // Largest hole is 8 words: a 24-word request must mesh, not extend.
+  ObjectId Big = MM.allocate(24);
+  EXPECT_EQ(MM.numMerges(), 1u);
+  EXPECT_EQ(H.stats().MovedWords, 32u) << "exactly the source chunk popcount";
+  EXPECT_EQ(H.stats().HighWaterMark, 128u) << "the merge freed chunk 0";
+  EXPECT_LT(H.object(Big).Address, 128u);
+  EXPECT_TRUE(MM.ledger().holds());
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(Meshing, FruitlessPassIsCachedUntilTheHeapChanges) {
+  Heap H;
+  MeshingCompactor MM(H, 4.0);
+  // Three chunks, each live only at offset [0, 8): every pair collides.
+  std::vector<ObjectId> Keep, Fill;
+  for (int I = 0; I != 3; ++I) {
+    Keep.push_back(MM.allocate(8));
+    Fill.push_back(MM.allocate(56));
+  }
+  for (ObjectId Id : Fill)
+    MM.free(Id);
+  EXPECT_FALSE(MM.meshPass());
+  EXPECT_EQ(MM.numProbes(), 3u) << "3 candidate pairs, all colliding";
+  // Nothing changed: the pass must short-circuit without re-probing.
+  EXPECT_FALSE(MM.meshPass());
+  EXPECT_EQ(MM.numProbes(), 3u);
+  // A free invalidates the cache; the next pass scans again.
+  MM.free(Keep[2]);
+  MM.allocate(8); // first fit: lands at 8, thickening chunk 0
+  EXPECT_FALSE(MM.meshPass());
+  EXPECT_EQ(MM.numProbes(), 4u) << "one surviving pair, re-probed";
+}
+
+TEST(Meshing, MergeTargetLandingAtAddrLimit) {
+  // A merge whose destination offset pushes an object flush against the
+  // end of the address space must still account and move correctly.
+  Heap H;
+  MeshingCompactor MM(H, 1.0);
+  const uint64_t SrcIndex = (AddrLimit - 128) / 64;
+  ObjectId Src = H.place(AddrLimit - 72, 8); // source chunk, offset 56
+  H.place(AddrLimit - 64, 8);                // destination chunk, offset 0
+  MM.mergeChunks(SrcIndex, SrcIndex + 1);
+  EXPECT_EQ(H.object(Src).Address, AddrLimit - 8)
+      << "moved object must end exactly at AddrLimit";
+  EXPECT_EQ(H.usedWordsIn(AddrLimit - 128, 64), 0u);
+  EXPECT_EQ(MM.numMerges(), 1u);
+  EXPECT_EQ(H.stats().MovedWords, 8u);
+  EXPECT_TRUE(MM.ledger().holds());
+  EXPECT_TRUE(H.checkConsistency());
+}
+
+TEST(MeshingDeathTest, DoubleMergeOfTheSamePairDies) {
+  // After a merge the source chunk is empty; meshing the same pair again
+  // is a policy bug the assertions must catch, not a silent no-op.
+  Heap H;
+  MeshingCompactor MM(H, 1.0);
+  H.place(0, 8);      // chunk 0, offset 0
+  H.place(64 + 8, 8); // chunk 1, offset 8: disjoint
+  MM.mergeChunks(0, 1);
+  ASSERT_EQ(H.usedWordsIn(0, 64), 0u);
+  EXPECT_DEATH(MM.mergeChunks(0, 1), "meshing an empty source chunk");
+}
+
 // --- Property sweep across all managers ----------------------------------
 
 struct ChurnCase {
@@ -583,7 +789,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ChurnCase{"sliding", 9},
                       ChurnCase{"sliding-unlimited", 10},
                       ChurnCase{"bump-compactor", 11},
-                      ChurnCase{"paged-space", 13}),
+                      ChurnCase{"paged-space", 13},
+                      ChurnCase{"chunked", 14}, ChurnCase{"meshing", 15}),
     [](const ::testing::TestParamInfo<ChurnCase> &Info) {
       std::string Name = Info.param.Policy;
       for (char &C : Name)
@@ -622,6 +829,28 @@ TEST(ManagerFactory, UnknownPolicyFailsWithTheFullPolicyList) {
         << "error message omits valid policy '" << Policy << "': " << Error;
   EXPECT_EQ(Error.find("requires a live bound"), std::string::npos)
       << "unknown-name failure must not reuse the bump-compactor message";
+}
+
+TEST(ManagerFactory, NewFamilyPoliciesAreListedInErrorPaths) {
+  // Regression test for the chunked/meshing rollout: a near-miss name
+  // must list the new policies among the valid ones, and both must
+  // create without a live bound (unlike bump-compactor).
+  Heap H;
+  std::string Error;
+  EXPECT_EQ(createManagerChecked("chunkd", H, 10.0, 0, &Error), nullptr);
+  EXPECT_NE(Error.find("unknown policy 'chunkd'"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("chunked"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("meshing"), std::string::npos) << Error;
+  Error.clear();
+  auto Chunked = createManagerChecked("chunked", H, 10.0, 0, &Error);
+  ASSERT_NE(Chunked, nullptr) << Error;
+  EXPECT_EQ(Chunked->name(), "chunked");
+  Heap H2;
+  auto Meshing = createManagerChecked("meshing", H2, 10.0, 0, &Error);
+  ASSERT_NE(Meshing, nullptr) << Error;
+  EXPECT_EQ(Meshing->name(), "meshing");
+  EXPECT_TRUE(Error.empty()) << Error;
 }
 
 TEST(ManagerFactory, BumpCompactorWithoutLiveBoundGetsItsOwnDiagnosis) {
