@@ -33,6 +33,8 @@ const char *Profiler::sectionName(Section S) {
     return "mm.chunk_trigger";
   case SecStep:
     return "exec.step";
+  case SecServeFlush:
+    return "serve.flush";
   case NumSections:
     break;
   }
@@ -53,6 +55,12 @@ const char *Profiler::counterName(Counter C) {
     return "chunk.evacuations";
   case CtrTimelineSamples:
     return "timeline.samples";
+  case CtrServeFlushes:
+    return "serve.flushes";
+  case CtrServeSteals:
+    return "serve.steals";
+  case CtrServeSessions:
+    return "serve.sessions";
   case NumCounters:
     break;
   }

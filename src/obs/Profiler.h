@@ -56,6 +56,7 @@ public:
     SecMeshProbe,    ///< MeshingCompactor's word-AND disjointness probes
     SecChunkTrigger, ///< ChunkedManager's per-chunk trigger processing
     SecStep,         ///< Execution::runStep (program + manager + checks)
+    SecServeFlush,   ///< ArenaShard::flush (one applied request batch)
     NumSections
   };
 
@@ -67,6 +68,9 @@ public:
     CtrMeshMerges,        ///< chunk pairs merged by the meshing compactor
     CtrChunkEvacuations,  ///< chunks evacuated by the chunked manager
     CtrTimelineSamples,   ///< points recorded by a TimelineSampler
+    CtrServeFlushes,      ///< request batches applied by fleet shards
+    CtrServeSteals,       ///< arenas stolen by idle fleet workers
+    CtrServeSessions,     ///< sessions retired by fleet shards
     NumCounters
   };
 

@@ -1,0 +1,54 @@
+//===- service/SessionWorkload.cpp - Lightweight mutator sessions --------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SessionWorkload.h"
+
+#include "support/Random.h"
+
+using namespace pcb;
+
+uint64_t pcb::sessionSeed(uint64_t FleetSeed, uint64_t GlobalId) {
+  return splitSeed(FleetSeed, GlobalId);
+}
+
+WorkloadFuzzer::Pattern pcb::sessionPattern(uint64_t GlobalId) {
+  // Only the direct patterns: the recorded ones (Churn/Phase) replay a
+  // whole synthetic program per generation, far too heavy to run once
+  // per session in a million-session fleet.
+  static const WorkloadFuzzer::Pattern Direct[] = {
+      WorkloadFuzzer::Pattern::Uniform,   WorkloadFuzzer::Pattern::Bimodal,
+      WorkloadFuzzer::Pattern::StackLifo, WorkloadFuzzer::Pattern::QueueFifo,
+      WorkloadFuzzer::Pattern::Comb,
+  };
+  return Direct[GlobalId % (sizeof(Direct) / sizeof(Direct[0]))];
+}
+
+std::vector<TraceOp> pcb::generateSessionTrace(const SessionParams &P,
+                                               uint64_t GlobalId) {
+  WorkloadFuzzer::Options FO;
+  FO.Seed = sessionSeed(P.FleetSeed, GlobalId);
+  FO.NumOps = P.TargetOps == 0 ? 1 : P.TargetOps;
+  FO.LiveBound = P.LiveBound;
+  FO.MaxLogSize = P.MaxLogSize;
+  FO.P = sessionPattern(GlobalId);
+  std::vector<TraceOp> Ops = WorkloadFuzzer(FO).generate().materialize();
+
+  // Teardown: free every allocation the schedule left live, in
+  // allocation order. Retired sessions hold no memory.
+  uint64_t NumAllocs = 0;
+  for (const TraceOp &Op : Ops)
+    if (Op.Op == TraceOp::Kind::Alloc)
+      ++NumAllocs;
+  std::vector<bool> Freed(size_t(NumAllocs), false);
+  for (const TraceOp &Op : Ops)
+    if (Op.Op == TraceOp::Kind::Free)
+      Freed[size_t(Op.Value)] = true;
+  for (uint64_t A = 0; A != NumAllocs; ++A)
+    if (!Freed[size_t(A)])
+      Ops.push_back(TraceOp::release(A));
+  return Ops;
+}

@@ -57,6 +57,17 @@ def main():
 
     failed = False
     base_phases = {p["section"]: p for p in base.get("per_phase", [])}
+    fresh_phases = {p["section"]: p for p in fresh.get("per_phase", [])}
+    # A phase present on only one side is reported by name rather than
+    # silently skipped (or KeyError'd): a brand-new instrumented section
+    # must not break the gate, and a section that stopped firing is
+    # exactly the kind of change a reviewer should see in the CI log.
+    for section in sorted(base_phases.keys() - fresh_phases.keys()):
+        print(f"warning: phase '{section}' is in the baseline but missing "
+              f"from the fresh run (not gated)")
+    for section in sorted(fresh_phases.keys() - base_phases.keys()):
+        print(f"warning: phase '{section}' is new in the fresh run "
+              f"(no baseline; not gated)")
     for p in fresh.get("per_phase", []):
         bp = base_phases.get(p["section"])
         if bp is None:

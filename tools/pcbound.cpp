@@ -28,6 +28,16 @@
 //                                               re-execute a fuzz reproducer
 //                                               (or any saved trace) with
 //                                               the invariant oracle on
+//   pcbound serve    [arenas= sessions= threads= policy= c= batch=
+//                     resident= ops= maxlog= live= seed= sample= audit=
+//                     slice= json= out= timeline= arena-rows= profile=]
+//                                               concurrent multi-arena
+//                                               service mode: N shared-
+//                                               nothing arena shards
+//                                               drained by a work-stealing
+//                                               scheduler; deterministic
+//                                               fleet report on stdout,
+//                                               wall clock on stderr
 //   pcbound exact    [Ms= ns= cs= witness-dir= --threads=N]
 //                                               solve the allocation game
 //                                               exactly on tiny parameters
@@ -61,6 +71,7 @@
 #include "obs/Timeline.h"
 #include "obs/TimelineSampler.h"
 #include "runner/ExperimentGrid.h"
+#include "service/ServiceFleet.h"
 #include "runner/ResultSink.h"
 #include "runner/Runner.h"
 #include "support/OptionParser.h"
@@ -98,6 +109,10 @@ int usage() {
       << "             logm=12 maxlog=8 deep=64 index-oracle=1 repro-dir=.\n"
       << "             --threads=N timeline=PREFIX]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
+      << "  serve     [arenas=4 sessions=4096 threads=0 policy=evacuating\n"
+      << "             c=50 batch=16 resident=8 ops=48 maxlog=6 live=1024\n"
+      << "             seed=1 sample=64 audit=0 slice=32 json=0 out=\n"
+      << "             timeline= arena-rows=32 profile=0]\n"
       << "  exact     [Ms=2,4,8 ns=2,4 cs=1,2,4,inf budget-cap=0\n"
       << "             node-limit=0 max-arena=0 witness-dir=DIR\n"
       << "             --threads=N csv=0 json=0 out=]\n"
@@ -769,6 +784,84 @@ int cmdReplayTrace(const OptionParser &Opts) {
   return NumProblems ? 1 : 0;
 }
 
+int cmdServe(const OptionParser &Opts) {
+  FleetOptions FO;
+  FO.NumArenas = unsigned(Opts.getUInt("arenas", 4));
+  FO.NumSessions = Opts.getUInt("sessions", 4096);
+  FO.Threads = unsigned(Opts.getUInt("threads", 0));
+  FO.SliceFlushes = std::max<uint64_t>(1, Opts.getUInt("slice", 32));
+  FO.Shard.Policy = Opts.getString("policy", "evacuating");
+  FO.Shard.C = Opts.getDouble("c", 50.0);
+  FO.Shard.BatchSize = std::max<uint64_t>(1, Opts.getUInt("batch", 16));
+  FO.Shard.MaxResident = std::max<uint64_t>(1, Opts.getUInt("resident", 8));
+  FO.Shard.SampleEverySessions = Opts.getUInt("sample", 64);
+  FO.Shard.Audit = Opts.getBool("audit", false);
+  FO.Shard.Session.FleetSeed = Opts.getUInt("seed", 1);
+  FO.Shard.Session.TargetOps = Opts.getUInt("ops", 48);
+  FO.Shard.Session.MaxLogSize = unsigned(Opts.getUInt("maxlog", 6));
+  FO.Shard.Session.LiveBound =
+      std::max<uint64_t>(1, Opts.getUInt("live", uint64_t(1) << 10));
+  FO.ArenaRowLimit = unsigned(Opts.getUInt("arena-rows", 32));
+  if (FO.NumArenas == 0) {
+    std::cerr << "error: arenas= must be positive\n";
+    return 1;
+  }
+  if (FO.Shard.Session.MaxLogSize > 24) {
+    std::cerr << "error: need maxlog <= 24\n";
+    return 1;
+  }
+
+  Profiler Prof;
+  if (Opts.getBool("profile", false))
+    FO.Prof = &Prof;
+
+  try {
+    ServiceFleet Fleet(FO);
+    Fleet.run();
+    FleetReport R = Fleet.report();
+
+    // Wall clock and scheduler observability are nondeterministic, so
+    // they go to stderr; stdout carries only the deterministic report.
+    double Wall = Fleet.wallSeconds();
+    std::cerr << "# serve: wall " << formatDouble(Wall, 3) << "s, threads="
+              << Fleet.threads() << ", slices=" << Fleet.slices()
+              << ", steals=" << Fleet.steals() << ", "
+              << uint64_t(Wall > 0.0 ? double(R.TotalSessions) / Wall : 0.0)
+              << " sessions/s\n";
+    if (FO.Prof)
+      Prof.printReport(std::cerr, Wall);
+
+    if (Opts.getBool("json", false))
+      R.printJson(std::cout);
+    else
+      R.printText(std::cout);
+
+    std::string OutPath = Opts.getString("out", "");
+    if (!OutPath.empty()) {
+      std::string Error;
+      if (!R.writeFile(OutPath, &Error)) {
+        std::cerr << "error: " << Error << "\n";
+        return 1;
+      }
+      std::cerr << "# report written to " << OutPath << "\n";
+    }
+    std::string TimelinePath = Opts.getString("timeline", "");
+    if (!TimelinePath.empty()) {
+      std::string Error;
+      if (!R.FleetTimeline.writeFile(TimelinePath, &Error)) {
+        std::cerr << "error: " << Error << "\n";
+        return 1;
+      }
+      std::cerr << "# fleet timeline written to " << TimelinePath << " ("
+                << R.FleetTimeline.size() << " points)\n";
+    }
+    return R.clean() ? 0 : 1;
+  } catch (const std::exception &Ex) {
+    std::cerr << "error: " << Ex.what() << "\n";
+    return 1;
+  }
+}
+
 /// Parses a comma-separated list of positive integers from option \p Opt.
 bool parseUIntList(const std::string &Text, const char *Opt,
                    std::vector<uint64_t> &Out) {
@@ -995,6 +1088,8 @@ int main(int argc, char **argv) {
     return cmdFuzz(Opts);
   if (Command == "replay-trace")
     return cmdReplayTrace(Opts);
+  if (Command == "serve")
+    return cmdServe(Opts);
   if (Command == "exact")
     return cmdExact(Opts);
   if (Command == "policies") {

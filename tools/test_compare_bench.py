@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py, run by ctest (compare_bench_unit).
+
+Covers the gate's decision table: pass on a matching run, fail on
+throughput and gated-phase regressions, tolerate ungated-phase noise,
+reject grid mismatches, and — the regression this file pins — report
+phases present on only one side as named warnings instead of silently
+skipping them (new phase) or never mentioning them (vanished phase).
+"""
+
+import contextlib
+import copy
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench
+
+
+BASE = {
+    "bench": "fleet",
+    "arenas": [4, 8],
+    "sessions": 100000,
+    "total_steps": 1000,
+    "steps_per_second": 1000.0,
+    "per_phase": [
+        {"section": "heap.place", "calls": 10, "total_ms": 1.0,
+         "ns_per_call": 100.0},
+        {"section": "mm.compact", "calls": 5, "total_ms": 1.0,
+         "ns_per_call": 200.0},
+        {"section": "exec.step", "calls": 2, "total_ms": 1.0,
+         "ns_per_call": 500.0},
+    ],
+}
+
+
+def run_compare(base, fresh, extra_args=()):
+    """Runs compare_bench.main() on two in-memory reports; returns
+    (exit_code, stdout_text)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(base_path, "w") as f:
+            json.dump(base, f)
+        with open(fresh_path, "w") as f:
+            json.dump(fresh, f)
+        argv = ["compare_bench.py", base_path, fresh_path, *extra_args]
+        out = io.StringIO()
+        old_argv = sys.argv
+        sys.argv = argv
+        try:
+            with contextlib.redirect_stdout(out), \
+                 contextlib.redirect_stderr(out):
+                code = compare_bench.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue()
+
+
+class CompareBenchTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        code, out = run_compare(BASE, copy.deepcopy(BASE))
+        self.assertEqual(code, 0)
+        self.assertIn("bench comparison OK", out)
+
+    def test_throughput_regression_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["steps_per_second"] = 100.0
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("steps_per_second regressed", out)
+
+    def test_gated_phase_regression_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][0]["ns_per_call"] = 200.0  # heap.place 2x
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("heap.place ns_per_call regressed", out)
+
+    def test_ungated_phase_regression_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][2]["ns_per_call"] = 5000.0  # exec.step 10x
+        code, _ = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+
+    def test_grid_mismatch_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["total_steps"] = 999
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("grid mismatch", out)
+
+    def test_new_phase_warns_by_name_and_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"].append({"section": "serve.flush", "calls": 3,
+                                   "total_ms": 1.0, "ns_per_call": 50.0})
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: phase 'serve.flush' is new in the fresh run",
+                      out)
+
+    def test_vanished_phase_warns_by_name_and_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"] = [p for p in fresh["per_phase"]
+                              if p["section"] != "mm.compact"]
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: phase 'mm.compact' is in the baseline but "
+                      "missing", out)
+
+    def test_new_gated_phase_is_not_gated_without_baseline(self):
+        # A brand-new gated-prefix section can't regress against nothing:
+        # it must warn, not fail, whatever its cost.
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"].append({"section": "heap.move", "calls": 3,
+                                   "total_ms": 9.0, "ns_per_call": 1e9})
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: phase 'heap.move' is new in the fresh run",
+                      out)
+
+
+if __name__ == "__main__":
+    unittest.main()
