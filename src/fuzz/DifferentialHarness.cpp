@@ -91,6 +91,11 @@ DifferentialHarness::runPolicy(const std::string &Policy,
 
   TraceReplayProgram P(Trace);
   Execution E(*MM, P, M);
+  std::unique_ptr<BudgetController> Ctrl =
+      createControllerChecked(Opts.Controller, &Error);
+  if (!Ctrl)
+    throw std::invalid_argument("differential harness: " + Error);
+  attachController(E, *MM, *Ctrl);
   if (Opts.OnExecution)
     Opts.OnExecution(E, Policy);
   InvariantOracle Oracle(H, *MM, Log, {Opts.DeepCheckEvery});

@@ -29,6 +29,7 @@
 #include "driver/EventLog.h"
 #include "fuzz/InvariantOracle.h"
 #include "fuzz/WorkloadFuzzer.h"
+#include "trace/BudgetController.h"
 
 #include <functional>
 #include <iosfwd>
@@ -77,6 +78,12 @@ public:
     std::vector<std::string> Policies;
     /// Compaction quota denominator handed to every manager.
     double C = 50.0;
+    /// Budget controller gating every run's compaction spend (each run
+    /// gets a private instance built from this spec). The default fixed
+    /// trigger is byte-identical to an ungated run, so existing fuzz
+    /// corpora keep their meaning; the cross-policy agreement invariants
+    /// must hold under every controller.
+    ControllerSpec Controller;
     /// Deep-check cadence of the per-run oracle.
     uint64_t DeepCheckEvery = 64;
     /// Policy run twice per schedule to confirm replay determinism;

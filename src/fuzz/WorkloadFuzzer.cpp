@@ -308,6 +308,8 @@ std::string WorkloadFuzzer::patternName(Pattern P) {
     return "phase";
   case Pattern::Mixed:
     return "mixed";
+  case Pattern::Trace:
+    return "trace";
   }
   return "unknown";
 }
@@ -319,6 +321,23 @@ FuzzSchedule WorkloadFuzzer::generate() const {
   FuzzSchedule S;
   S.Seed = Opts.Seed;
   S.Pattern = patternName(Opts.P);
+
+  if (Opts.P == Pattern::Trace) {
+    assert(Opts.TraceOps && "Pattern::Trace needs Options::TraceOps");
+    FuzzSchedule Full =
+        scheduleFromTrace(*Opts.TraceOps, Opts.Seed, S.Pattern);
+    size_t N = Full.Ops.size();
+    size_t Window = std::min<size_t>(size_t(Opts.NumOps), N);
+    if (Window == N)
+      return Full;
+    // A seeded contiguous window; subset() re-points frees and drops
+    // those whose allocation fell outside, so the window is well-formed.
+    size_t Start = size_t(R.nextBelow(N - Window + 1));
+    std::vector<bool> Keep(N, false);
+    for (size_t I = Start; I != Start + Window; ++I)
+      Keep[I] = true;
+    return Full.subset(Keep);
+  }
 
   switch (Opts.P) {
   case Pattern::Churn:

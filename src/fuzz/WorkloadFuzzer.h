@@ -30,6 +30,7 @@
 #include "support/Random.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,7 @@ public:
     Churn,     ///< recorded RandomChurnProgram behaviour
     Phase,     ///< recorded MarkovPhaseProgram behaviour
     Mixed,     ///< random segments of the direct patterns above
+    Trace,     ///< seeded windows of a recorded malloc trace
   };
 
   struct Options {
@@ -100,6 +102,13 @@ public:
     /// Largest object: 2^MaxLogSize words.
     unsigned MaxLogSize = 8;
     Pattern P = Pattern::Mixed;
+    /// Pattern::Trace's source (required for it): a recorded trace in
+    /// the ordinal-free TraceOp convention, shared so a corpus-sized
+    /// trace is not copied per iteration. Each seed selects a different
+    /// contiguous window of roughly NumOps operations; subset() closure
+    /// keeps every window well-formed, and windows enter ddmin shrinking
+    /// like any generated schedule.
+    std::shared_ptr<const std::vector<TraceOp>> TraceOps;
   };
 
   explicit WorkloadFuzzer(const Options &O) : Opts(O) {}
@@ -108,8 +117,9 @@ public:
   /// them; calling twice yields the same schedule).
   FuzzSchedule generate() const;
 
-  /// Every concrete pattern, in a fixed order (used by `pcbound fuzz` to
-  /// cycle patterns across iterations).
+  /// Every self-contained pattern, in a fixed order (used by `pcbound
+  /// fuzz` to cycle patterns across iterations). Excludes Pattern::Trace,
+  /// which needs an external trace to draw from.
   static const std::vector<Pattern> &allPatterns();
   static std::string patternName(Pattern P);
 

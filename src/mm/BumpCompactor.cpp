@@ -26,8 +26,13 @@ Addr BumpCompactor::compact() {
   for (ObjectId Id : heap().liveObjectsIn(FirstGap, AddrLimit - FirstGap)) {
     const Object &O = heap().object(Id);
     if (O.Address != Target) {
-      [[maybe_unused]] bool Moved = tryMoveObject(Id, Target);
-      assert(Moved && "the c*M period must fund a full compaction");
+      bool Moved = tryMoveObject(Id, Target);
+      assert((Moved || hasSpendGate()) &&
+             "the c*M period must fund a full compaction");
+      // Only a spend gate flipping mid-pass can land here; abandon the
+      // pass with the old frontier, which is still free.
+      if (!Moved)
+        return Bump;
       // The program may free the object in response to the move (the
       // adversaries do); its packed span is only consumed if it stayed.
     }
@@ -44,7 +49,12 @@ Addr BumpCompactor::placeFor(uint64_t Size) {
   // ledger, compact every M words (a reasonable full-compaction cadence).
   uint64_t Period =
       C <= 0.0 ? LiveBound : uint64_t(C * double(LiveBound));
-  if (AllocatedSinceCompaction >= Period && heap().stats().LiveWords > 0) {
+  // The spend gate is consulted once for the whole pass: the gate is
+  // constant within a step, so approval here funds every move below. A
+  // denial defers the pass; the accumulated period keeps retrying it on
+  // every later allocation until the gate reopens.
+  if (AllocatedSinceCompaction >= Period && heap().stats().LiveWords > 0 &&
+      spendApproved()) {
     Bump = compact();
     AllocatedSinceCompaction = 0;
   }

@@ -133,15 +133,18 @@ bool ChunkedManager::evacuateChunk(uint64_t Victim) {
   assert(Ch.Bump > Ch.Freed && "evacuating a wholly-garbage chunk");
   // The ledger is charged only for the survivors; refuse the whole chunk
   // when they do not fit the remaining budget (a partial evacuation
-  // would spend budget without recycling the chunk).
-  if (!ledger().canMove(Ch.Bump - Ch.Freed))
+  // would spend budget without recycling the chunk). The spend gate is
+  // consulted up front for the same reason — it is constant within a
+  // step, so approval here funds the whole drain.
+  if (!spendApproved() || !ledger().canMove(Ch.Bump - Ch.Freed))
     return false;
   for (ObjectId Id : heap().liveObjectsIn(startOf(Victim), chunkSize())) {
     // Bump placement never straddles chunks, so every resident is wholly
     // inside the victim.
     Addr Dest = bumpDest(heap().object(Id).Size);
     bool Moved = tryMoveObject(Id, Dest);
-    assert(Moved && "pre-checked evacuation exceeded the budget");
+    assert((Moved || hasSpendGate()) &&
+           "pre-checked evacuation exceeded the budget");
     if (!Moved)
       return false;
   }

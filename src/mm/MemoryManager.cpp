@@ -32,6 +32,8 @@ void MemoryManager::free(ObjectId Id) {
 bool MemoryManager::tryMoveObject(ObjectId Id, Addr To) {
   assert(TheHeap.isLive(Id) && "moving a dead or unknown object");
   const Object &O = TheHeap.object(Id);
+  if (Spend && !Spend())
+    return false;
   if (!Ledger.canMove(O.Size))
     return false;
   Addr From = O.Address;

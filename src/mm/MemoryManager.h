@@ -59,6 +59,15 @@ public:
     OnMove = std::move(Callback);
   }
 
+  /// Consulted at the top of every tryMoveObject, before the ledger: a
+  /// false return makes the move fail exactly as an exhausted budget
+  /// would, so the policy's budget-denied fallback handles it. This is
+  /// the budget controllers' port (trace/BudgetController.h); unset (or
+  /// always-true, the fixed-trigger controller) leaves behaviour
+  /// byte-identical to an ungated manager.
+  using SpendGate = std::function<bool()>;
+  void setSpendGate(SpendGate Gate) { Spend = std::move(Gate); }
+
   Heap &heap() { return TheHeap; }
   const Heap &heap() const { return TheHeap; }
   const CompactionLedger &ledger() const { return Ledger; }
@@ -81,6 +90,18 @@ protected:
   /// the free happens before this returns.
   bool tryMoveObject(ObjectId Id, Addr To);
 
+  /// True when a spend gate is installed (a budget controller is
+  /// attached to this manager).
+  bool hasSpendGate() const { return bool(Spend); }
+
+  /// Consults the spend gate once; true when none is installed. Policies
+  /// whose compaction transactions pre-check the ledger and then assume
+  /// every move succeeds must call this at transaction start: the gate is
+  /// constant within an execution step (controllers observe the heap only
+  /// at step boundaries), so approval here funds every move of the
+  /// transaction.
+  bool spendApproved() const { return !Spend || Spend(); }
+
   /// Budget remaining right now, in words.
   uint64_t compactionBudget() const { return Ledger.remainingWords(); }
 
@@ -88,6 +109,7 @@ private:
   Heap &TheHeap;
   CompactionLedger Ledger;
   MoveCallback OnMove;
+  SpendGate Spend;
 };
 
 } // namespace pcb

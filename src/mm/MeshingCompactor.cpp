@@ -35,7 +35,7 @@ bool MeshingCompactor::chunkSelfContained(uint64_t Index) const {
   return !StraddlesInto(startOf(Index)) && !StraddlesInto(startOf(Index + 1));
 }
 
-void MeshingCompactor::mergeChunks(uint64_t Src, uint64_t Dst) {
+bool MeshingCompactor::mergeChunks(uint64_t Src, uint64_t Dst) {
   assert(Src != Dst && "meshing a chunk with itself");
   Addr SrcStart = startOf(Src);
   Addr DstStart = startOf(Dst);
@@ -50,14 +50,24 @@ void MeshingCompactor::mergeChunks(uint64_t Src, uint64_t Dst) {
            "mesh source object straddles the chunk");
     // Disjointness makes the mirror offset free in the destination.
     bool Moved = tryMoveObject(Id, DstStart + (O.Address - SrcStart));
-    assert(Moved && "mesh merge exceeded the compaction budget");
-    (void)Moved;
+    assert((Moved || hasSpendGate()) &&
+           "mesh merge exceeded the compaction budget");
+    // Only a spend gate flipping mid-merge can land here; the objects
+    // already moved form a valid (if partial) merge.
+    if (!Moved)
+      return false;
   }
   ++NumMerges;
   Profiler::bump(Profiler::CtrMeshMerges);
+  return true;
 }
 
 bool MeshingCompactor::meshPass() {
+  // A closed spend gate cannot fund any merge this step; skip the
+  // candidate scan outright, leaving the failed-pass memo untouched so
+  // the pass retries as soon as the gate reopens.
+  if (!spendApproved())
+    return false;
   ScopedTimer Timer(Profiler::SecCompaction);
   Profiler::bump(Profiler::CtrCompactionPasses);
   if (FailedPassSignature == heapChangeSignature())
@@ -115,9 +125,15 @@ bool MeshingCompactor::meshPass() {
       }
       if (!Disjoint)
         continue;
-      mergeChunks(Cands[S].Index, Cands[D].Index);
+      bool Merged = mergeChunks(Cands[S].Index, Cands[D].Index);
       // Both chunks' occupancy changed; retire them from this pass.
       Consumed[S] = Consumed[D] = true;
+      if (!Merged) {
+        // The spend gate closed mid-merge; no further merge can be
+        // funded this step.
+        NumProbes += Probes;
+        return Merges != 0;
+      }
       ++Merges;
       break;
     }

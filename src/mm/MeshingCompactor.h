@@ -63,10 +63,12 @@ public:
   /// Meshes chunk \p Src into chunk \p Dst: every live object of Src
   /// moves to the same offset in Dst. Requires (asserted) a non-empty,
   /// self-contained source, disjoint occupancy, and enough budget —
-  /// meshPass() only calls it with all four established. Public so the
-  /// edge-case tests (merge target at AddrLimit, double-merge death
-  /// test) can drive a merge directly.
-  void mergeChunks(uint64_t Src, uint64_t Dst);
+  /// meshPass() only calls it with all four established. False when a
+  /// spend gate closed mid-merge: the partial merge is still a valid
+  /// heap, but the pass must stop probing. Public so the edge-case tests
+  /// (merge target at AddrLimit, double-merge death test) can drive a
+  /// merge directly.
+  bool mergeChunks(uint64_t Src, uint64_t Dst);
 
   /// Runs one mesh pass (normally triggered by allocation pressure);
   /// true when at least one pair merged. Public for tests.

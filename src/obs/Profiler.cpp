@@ -35,6 +35,8 @@ const char *Profiler::sectionName(Section S) {
     return "exec.step";
   case SecServeFlush:
     return "serve.flush";
+  case SecTraceRead:
+    return "trace.read";
   case NumSections:
     break;
   }
@@ -61,6 +63,10 @@ const char *Profiler::counterName(Counter C) {
     return "serve.steals";
   case CtrServeSessions:
     return "serve.sessions";
+  case CtrTraceOps:
+    return "trace.ops";
+  case CtrControllerDenials:
+    return "controller.denials";
   case NumCounters:
     break;
   }

@@ -57,6 +57,7 @@ public:
     SecChunkTrigger, ///< ChunkedManager's per-chunk trigger processing
     SecStep,         ///< Execution::runStep (program + manager + checks)
     SecServeFlush,   ///< ArenaShard::flush (one applied request batch)
+    SecTraceRead,    ///< TraceReader::next (parse + validate one op)
     NumSections
   };
 
@@ -71,6 +72,8 @@ public:
     CtrServeFlushes,      ///< request batches applied by fleet shards
     CtrServeSteals,       ///< arenas stolen by idle fleet workers
     CtrServeSessions,     ///< sessions retired by fleet shards
+    CtrTraceOps,          ///< malloc-trace operations streamed
+    CtrControllerDenials, ///< moves denied by a budget controller's gate
     NumCounters
   };
 

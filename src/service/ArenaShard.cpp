@@ -29,6 +29,11 @@ ArenaShard::ArenaShard(unsigned ArenaId, uint64_t NumSessions,
   MM = createManagerChecked(Cfg.Policy, H, Cfg.C, LiveBound, &Error);
   if (!MM)
     throw std::runtime_error(Error);
+  Ctrl = createControllerChecked(Cfg.Controller, &Error);
+  if (!Ctrl)
+    throw std::runtime_error(Error);
+  MM->setSpendGate([this] { return Ctrl->consult(); });
+  Ctrl->observe(sampleFromHeap(H, 0));
   if (Cfg.Audit) {
     H.setEventCallback([this](const HeapEvent &E) {
       HeapEvent Copy = E;
@@ -118,6 +123,9 @@ void ArenaShard::flush() {
   Pending.clear();
   ++NumFlushes;
   Profiler::bump(Profiler::CtrServeFlushes);
+  // The controller observes at flush granularity: a pure function of the
+  // shard's fixed schedule, never of slicing or stealing.
+  Ctrl->observe(sampleFromHeap(H, NumFlushes));
   // Flush-boundary fragmentation telemetry (O(log free blocks), so it
   // stays cheap at batch granularity). The drained endpoint has no live
   // words, so percentile reporting uses these peaks/means instead.

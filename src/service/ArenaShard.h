@@ -40,6 +40,7 @@
 #include "mm/MemoryManager.h"
 #include "obs/Timeline.h"
 #include "service/SessionWorkload.h"
+#include "trace/BudgetController.h"
 
 #include <functional>
 #include <memory>
@@ -54,6 +55,12 @@ struct ShardConfig {
   std::string Policy = "evacuating";
   /// Compaction quota denominator handed to every arena's manager.
   double C = 50.0;
+  /// Budget controller gating each arena's compaction spend. Every shard
+  /// builds a private controller from this spec and observes it at flush
+  /// granularity (Step = flush ordinal) — still a pure function of the
+  /// shard config, so the fleet determinism contract is untouched. The
+  /// default fixed trigger is byte-identical to an ungated arena.
+  ControllerSpec Controller;
   /// Session shape (seed, ops, live bound, size cap).
   SessionParams Session;
   /// Requests applied per flush of the arena queue. 1 applies every
@@ -121,6 +128,7 @@ public:
 
   const Heap &heap() const { return H; }
   const MemoryManager &manager() const { return *MM; }
+  const BudgetController &controller() const { return *Ctrl; }
   const std::vector<Violation> &violations() const { return Violations; }
   const Timeline &timeline() const { return TL; }
   const EventLog &eventLog() const { return Log; }
@@ -159,6 +167,7 @@ private:
 
   Heap H;
   std::unique_ptr<MemoryManager> MM;
+  std::unique_ptr<BudgetController> Ctrl;
   EventLog Log;
   std::unique_ptr<InvariantOracle> Oracle;
   std::vector<Violation> Violations;

@@ -27,18 +27,11 @@ WorkloadFuzzer::Pattern pcb::sessionPattern(uint64_t GlobalId) {
   return Direct[GlobalId % (sizeof(Direct) / sizeof(Direct[0]))];
 }
 
-std::vector<TraceOp> pcb::generateSessionTrace(const SessionParams &P,
-                                               uint64_t GlobalId) {
-  WorkloadFuzzer::Options FO;
-  FO.Seed = sessionSeed(P.FleetSeed, GlobalId);
-  FO.NumOps = P.TargetOps == 0 ? 1 : P.TargetOps;
-  FO.LiveBound = P.LiveBound;
-  FO.MaxLogSize = P.MaxLogSize;
-  FO.P = sessionPattern(GlobalId);
-  std::vector<TraceOp> Ops = WorkloadFuzzer(FO).generate().materialize();
+namespace {
 
-  // Teardown: free every allocation the schedule left live, in
-  // allocation order. Retired sessions hold no memory.
+/// Teardown: free every allocation the schedule left live, in
+/// allocation order. Retired sessions hold no memory.
+void appendTeardown(std::vector<TraceOp> &Ops) {
   uint64_t NumAllocs = 0;
   for (const TraceOp &Op : Ops)
     if (Op.Op == TraceOp::Kind::Alloc)
@@ -50,5 +43,29 @@ std::vector<TraceOp> pcb::generateSessionTrace(const SessionParams &P,
   for (uint64_t A = 0; A != NumAllocs; ++A)
     if (!Freed[size_t(A)])
       Ops.push_back(TraceOp::release(A));
+}
+
+} // namespace
+
+std::vector<TraceOp> pcb::generateSessionTrace(const SessionParams &P,
+                                               uint64_t GlobalId) {
+  if (P.Trace) {
+    // One trace = one session class: every session replays the recorded
+    // schedule (plus teardown), and differs only in where the fleet's
+    // striping, batching and residency interleave it with its
+    // neighbours.
+    std::vector<TraceOp> Ops = *P.Trace;
+    appendTeardown(Ops);
+    return Ops;
+  }
+
+  WorkloadFuzzer::Options FO;
+  FO.Seed = sessionSeed(P.FleetSeed, GlobalId);
+  FO.NumOps = P.TargetOps == 0 ? 1 : P.TargetOps;
+  FO.LiveBound = P.LiveBound;
+  FO.MaxLogSize = P.MaxLogSize;
+  FO.P = sessionPattern(GlobalId);
+  std::vector<TraceOp> Ops = WorkloadFuzzer(FO).generate().materialize();
+  appendTeardown(Ops);
   return Ops;
 }

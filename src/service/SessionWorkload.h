@@ -29,6 +29,7 @@
 #include "fuzz/WorkloadFuzzer.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pcb {
@@ -44,6 +45,13 @@ struct SessionParams {
   uint64_t LiveBound = uint64_t(1) << 10;
   /// Largest object a session allocates: 2^MaxLogSize words.
   unsigned MaxLogSize = 6;
+  /// Trace-backed fleets: when set, every session replays this recorded
+  /// malloc trace (one trace = one session class) instead of a
+  /// synthesized fuzz schedule; teardown frees are still appended. The
+  /// caller must raise LiveBound to at least the trace's peak live
+  /// volume. Shared: a production-sized trace is materialized once per
+  /// fleet, not once per session.
+  std::shared_ptr<const std::vector<TraceOp>> Trace;
 };
 
 /// The seed of session \p GlobalId: splitSeed(FleetSeed, GlobalId).

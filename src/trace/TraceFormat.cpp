@@ -1,0 +1,89 @@
+//===- trace/TraceFormat.cpp - The malloc-trace wire format --------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceFormat.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace pcb;
+
+namespace {
+constexpr char BinaryMagic[4] = {'P', 'C', 'B', 'T'};
+constexpr uint8_t TagAlloc = 1;
+constexpr uint8_t TagFree = 2;
+} // namespace
+
+std::string pcb::framingName(TraceFraming F) {
+  return F == TraceFraming::Text ? "text" : "binary";
+}
+
+bool pcb::parseFraming(const std::string &Name, TraceFraming &F) {
+  if (Name == "text") {
+    F = TraceFraming::Text;
+    return true;
+  }
+  if (Name == "binary") {
+    F = TraceFraming::Binary;
+    return true;
+  }
+  return false;
+}
+
+TraceWriter::TraceWriter(std::ostream &OS, TraceFraming F)
+    : OS(OS), Framing(F) {
+  if (Framing == TraceFraming::Text) {
+    OS << "pcbtrace " << TraceFormatVersion << " text\n";
+  } else {
+    OS.write(BinaryMagic, sizeof(BinaryMagic));
+    OS.put(char(TraceFormatVersion));
+  }
+}
+
+void TraceWriter::putVarint(uint64_t V) {
+  while (V >= 0x80) {
+    OS.put(char((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  OS.put(char(V));
+}
+
+void TraceWriter::alloc(uint64_t Id, uint64_t Size) {
+  assert(Size != 0 && "recording a zero-word allocation");
+  if (Framing == TraceFraming::Text) {
+    OS << "a " << Id << ' ' << Size << '\n';
+  } else {
+    OS.put(char(TagAlloc));
+    putVarint(Id);
+    putVarint(Size);
+  }
+  ++Ops;
+}
+
+void TraceWriter::free(uint64_t Id) {
+  if (Framing == TraceFraming::Text) {
+    OS << "f " << Id << '\n';
+  } else {
+    OS.put(char(TagFree));
+    putVarint(Id);
+  }
+  ++Ops;
+}
+
+void TraceWriter::record(const MallocOp &Op) {
+  if (Op.isAlloc())
+    alloc(Op.Id, Op.Size);
+  else
+    free(Op.Id);
+}
+
+void TraceWriter::comment(const std::string &Text) {
+  if (Framing == TraceFraming::Text)
+    OS << "# " << Text << '\n';
+}
+
+bool TraceWriter::good() const { return OS.good(); }

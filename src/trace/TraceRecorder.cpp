@@ -1,0 +1,38 @@
+//===- trace/TraceRecorder.cpp - Capturing runs as traces ----------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceRecorder.h"
+
+using namespace pcb;
+
+void TraceRecorder::record(const TraceOp &Op) {
+  if (Op.Op == TraceOp::Kind::Alloc)
+    W.alloc(NextAllocOrdinal++, Op.Value);
+  else
+    W.free(Op.Value);
+}
+
+void TraceRecorder::record(const std::vector<TraceOp> &Ops) {
+  for (const TraceOp &Op : Ops)
+    record(Op);
+}
+
+std::function<void(const HeapEvent &)> TraceRecorder::heapTap() {
+  return [this](const HeapEvent &E) {
+    switch (E.Event) {
+    case HeapEvent::Kind::Alloc:
+      W.alloc(E.Id, E.Size);
+      break;
+    case HeapEvent::Kind::Free:
+      W.free(E.Id);
+      break;
+    case HeapEvent::Kind::Move:
+    case HeapEvent::Kind::StepEnd:
+      break;
+    }
+  };
+}

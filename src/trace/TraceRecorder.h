@@ -1,0 +1,63 @@
+//===- trace/TraceRecorder.h - Capturing runs as traces ---------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Captures any run of the stack as a malloc trace. Two sources:
+///
+///   heapTap()  an adapter for Heap::setEventCallback — every Alloc/Free
+///              heap event becomes a trace record keyed by its heap
+///              ObjectId (dense, never reused, so the trace is trivially
+///              well-formed). Moves are dropped: compaction does not
+///              change the program's allocation schedule, which is the
+///              whole point of replaying one trace under many policies
+///              and controllers. This records adversaries, synthetic
+///              programs, and whole fleet runs at production sizes.
+///
+///   record(TraceOp)  lowers the ordinal-free TraceOp convention (frees
+///              name the k-th allocation) used by fuzz schedules and
+///              fleet sessions, numbering allocations as it goes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_TRACE_TRACERECORDER_H
+#define PCBOUND_TRACE_TRACERECORDER_H
+
+#include "adversary/SyntheticWorkloads.h"
+#include "heap/HeapEvent.h"
+#include "trace/TraceFormat.h"
+
+#include <functional>
+
+namespace pcb {
+
+/// Writes a malloc trace from live runs; see the file comment.
+class TraceRecorder {
+public:
+  TraceRecorder(std::ostream &OS, TraceFraming F) : W(OS, F) {}
+
+  /// Records one TraceOp (frees name allocation ordinals).
+  void record(const TraceOp &Op);
+
+  /// Records a whole TraceOp list.
+  void record(const std::vector<TraceOp> &Ops);
+
+  /// The Heap::setEventCallback adapter. The recorder must outlive the
+  /// callback's installation.
+  std::function<void(const HeapEvent &)> heapTap();
+
+  TraceWriter &writer() { return W; }
+  uint64_t opsWritten() const { return W.opsWritten(); }
+  bool good() const { return W.good(); }
+
+private:
+  TraceWriter W;
+  uint64_t NextAllocOrdinal = 0;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_TRACE_TRACERECORDER_H

@@ -7,11 +7,19 @@ Fails (exit 1) when the fresh run's steps_per_second has regressed by
 more than --max-regression percent (default 20) relative to the
 baseline, or when the two runs measured different grids (comparing
 steps/sec across different grids is meaningless). Also prints the
-per-phase ns_per_call deltas so CI logs show where time moved, and
-fails when a substrate phase (heap.*, fsi.*, mm.compact) regressed by
-more than --max-phase-regression percent (default 25): the end-to-end
-number can hide a hot-path regression behind an unrelated win, the
-per-phase gate cannot.
+per-phase ns_per_call and calls deltas so CI logs show where time
+moved, and fails when a substrate phase (heap.*, fsi.*, mm.compact)
+regressed by more than --max-phase-regression percent (default 25):
+the end-to-end number can hide a hot-path regression behind an
+unrelated win, the per-phase gate cannot.
+
+The calls gate closes the dual blind spot: a change that makes a hot
+phase *fire* more often (say, a compaction trigger running twice per
+step) can keep ns_per_call flat while the total cost balloons. Unlike
+timings, call counts on an identical grid are deterministic, so growth
+past --max-phase-calls-growth percent (default 25) in a gated phase
+fails the comparison; an intended cadence change must regenerate the
+committed baseline.
 """
 
 import argparse
@@ -34,6 +42,11 @@ def main():
                     help="maximum ns_per_call growth for the gated "
                          "substrate phases (heap.*, fsi.*, mm.compact), "
                          "in percent")
+    ap.add_argument("--max-phase-calls-growth", type=float, default=25.0,
+                    help="maximum calls growth for the gated substrate "
+                         "phases, in percent (counts are deterministic "
+                         "per grid, so growth means the phase fires "
+                         "more often, not runner noise)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -73,14 +86,24 @@ def main():
         if bp is None:
             continue
         d = p["ns_per_call"] - bp["ns_per_call"]
+        dc = p["calls"] - bp["calls"]
         print(f"  {p['section']:>12}: {bp['ns_per_call']:>10.1f} -> "
-              f"{p['ns_per_call']:>10.1f} ns/call ({d:+.1f})")
+              f"{p['ns_per_call']:>10.1f} ns/call ({d:+.1f}), "
+              f"{bp['calls']} -> {p['calls']} calls ({dc:+d})")
         if gated(p["section"]) and bp["ns_per_call"] > 0:
             growth = 100.0 * d / bp["ns_per_call"]
             if growth > args.max_phase_regression:
                 print(f"error: {p['section']} ns_per_call regressed "
                       f"{growth:.1f}% (> {args.max_phase_regression}% "
                       f"allowed)", file=sys.stderr)
+                failed = True
+        if gated(p["section"]) and bp["calls"] > 0:
+            calls_growth = 100.0 * dc / bp["calls"]
+            if calls_growth > args.max_phase_calls_growth:
+                print(f"error: {p['section']} now fires {calls_growth:.1f}% "
+                      f"more often ({bp['calls']} -> {p['calls']} calls, "
+                      f"> {args.max_phase_calls_growth}% allowed)",
+                      file=sys.stderr)
                 failed = True
 
     if change < -args.max_regression:

@@ -28,6 +28,17 @@
 //                                               re-execute a fuzz reproducer
 //                                               (or any saved trace) with
 //                                               the invariant oracle on
+//   pcbound trace-record out=FILE [pattern=|program=|session= format=]
+//                                               capture a fuzz pattern, an
+//                                               adversary program, or a
+//                                               fleet session as a malloc
+//                                               trace (text or binary)
+//   pcbound trace-run trace=FILE [policy= c= controller= ...]
+//                                               stream a malloc trace
+//                                               through a manager under a
+//                                               budget controller; memory
+//                                               stays bounded by the live
+//                                               window, not the op count
 //   pcbound serve    [arenas= sessions= threads= policy= c= batch=
 //                     resident= ops= maxlog= live= seed= sample= audit=
 //                     slice= json= out= timeline= arena-rows= profile=]
@@ -76,6 +87,9 @@
 #include "runner/Runner.h"
 #include "support/OptionParser.h"
 #include "support/Table.h"
+#include "trace/BudgetController.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceRun.h"
 
 #include <algorithm>
 #include <chrono>
@@ -98,7 +112,8 @@ int usage() {
       << "  plan      [M=256M n=1M target=2.5]\n"
       << "  simulate  [program=cohen-petrank policy=evacuating logm=14\n"
       << "             logn=8 c=50 trace=FILE verbose=0 timeline=FILE\n"
-      << "             stride=1]\n"
+      << "             stride=1 controller=fixed period=16 c1=1.0\n"
+      << "             smoothing=0.25]\n"
       << "  profile   [program=pf policy=evacuating logm=14 logn=8 c=50\n"
       << "             stride=1 timeline=FILE chart=1]\n"
       << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
@@ -107,19 +122,29 @@ int usage() {
       << "             timeline=PREFIX stride=1]\n"
       << "  fuzz      [seed=1 iterations=50 ops=384 policies=all c=50\n"
       << "             logm=12 maxlog=8 deep=64 index-oracle=1 repro-dir=.\n"
-      << "             --threads=N timeline=PREFIX]\n"
+      << "             --threads=N timeline=PREFIX trace=FILE\n"
+      << "             controller=fixed period=16 c1=1.0 smoothing=0.25]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
+      << "  trace-record out=FILE [pattern=mixed | program=NAME | session=ID]\n"
+      << "             [format=binary seed=1 ops=4096 live=4096 maxlog=8\n"
+      << "             logm=14 logn=8 c=50 policy=first-fit]\n"
+      << "  trace-run trace=FILE [policy=first-fit c=50 controller=fixed\n"
+      << "             period=16 c1=1.0 smoothing=0.25 live=0 deep=0\n"
+      << "             json=0 out= timeline= stride=1 profile=0]\n"
       << "  serve     [arenas=4 sessions=4096 threads=0 policy=evacuating\n"
       << "             c=50 batch=16 resident=8 ops=48 maxlog=6 live=1024\n"
       << "             seed=1 sample=64 audit=0 slice=32 json=0 out=\n"
-      << "             timeline= arena-rows=32 profile=0]\n"
+      << "             timeline= arena-rows=32 profile=0 trace=FILE\n"
+      << "             controller=fixed period=16 c1=1.0 smoothing=0.25]\n"
       << "  exact     [Ms=2,4,8 ns=2,4 cs=1,2,4,inf budget-cap=0\n"
       << "             node-limit=0 max-arena=0 witness-dir=DIR\n"
       << "             --threads=N csv=0 json=0 out=]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
       << "          stack-lifo, queue-fifo, sawtooth,\n"
-      << "          spec (with spec=FILE; see docs/MANUAL.md)\n";
+      << "          spec (with spec=FILE; see docs/MANUAL.md)\n"
+      << "controllers: fixed, periodic (period=), membalancer (c1=\n"
+      << "          smoothing=)\n";
   return 2;
 }
 
@@ -210,6 +235,45 @@ TimelineSampler::Options samplerOptions(const OptionParser &Opts) {
   return SO;
 }
 
+/// Parses the shared budget-controller options (controller= period= c1=
+/// smoothing=) and validates the name against the factory. Prints an
+/// error and returns false on an unknown controller.
+bool parseControllerSpec(const OptionParser &Opts, ControllerSpec &Spec) {
+  Spec.Name = Opts.getString("controller", "fixed");
+  Spec.Period = std::max<uint64_t>(1, Opts.getUInt("period", 16));
+  Spec.C1 = Opts.getDouble("c1", 1.0);
+  Spec.Smoothing = Opts.getDouble("smoothing", 0.25);
+  std::string Error;
+  if (!createControllerChecked(Spec, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Loads and materializes the malloc trace at \p Path into the
+/// ordinal-free TraceOp convention, for the consumers that hold a trace
+/// whole (fuzz corpora, fleet session classes). Sets \p PeakLiveWords to
+/// the trace's peak live volume. Prints an error and returns null on any
+/// validation failure.
+std::shared_ptr<const std::vector<TraceOp>>
+loadMallocTrace(const std::string &Path, uint64_t &PeakLiveWords) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    std::cerr << "error: cannot read '" << Path << "'\n";
+    return nullptr;
+  }
+  TraceReader R(IS);
+  std::string Error;
+  std::vector<TraceOp> Ops = materializeTrace(R, &Error);
+  if (!Error.empty()) {
+    std::cerr << "error: " << Path << ": " << Error << "\n";
+    return nullptr;
+  }
+  PeakLiveWords = R.peakLiveWords();
+  return std::make_shared<const std::vector<TraceOp>>(std::move(Ops));
+}
+
 int cmdSimulate(const OptionParser &Opts) {
   std::string ProgName = Opts.getString("program", "cohen-petrank");
   std::string Policy = Opts.getString("policy", "evacuating");
@@ -229,6 +293,10 @@ int cmdSimulate(const OptionParser &Opts) {
   std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
   if (!Prog)
     return 1;
+  ControllerSpec CtlSpec;
+  if (!parseControllerSpec(Opts, CtlSpec))
+    return 1;
+  std::unique_ptr<BudgetController> Ctrl = createController(CtlSpec);
 
   EventLog Log;
   Execution::Options ExecOpts;
@@ -236,6 +304,7 @@ int cmdSimulate(const OptionParser &Opts) {
   if (!TracePath.empty())
     ExecOpts.Log = &Log;
   Execution E(*MM, *Prog, M, ExecOpts);
+  attachController(E, *MM, *Ctrl);
 
   std::string TimelinePath = Opts.getString("timeline", "");
   TimelineSampler Sampler(samplerOptions(Opts));
@@ -268,6 +337,12 @@ int cmdSimulate(const OptionParser &Opts) {
             << "  utilization         " << formatDouble(FM.Utilization, 3)
             << ", external fragmentation "
             << formatDouble(FM.ExternalFragmentation, 3) << "\n";
+  // The default fixed trigger never denies, so the line (and the whole
+  // gate) only appears when a controller was actually asked for —
+  // keeping the report byte-identical to earlier releases otherwise.
+  if (CtlSpec.Name != "fixed")
+    std::cout << "  controller          " << Ctrl->name() << " (granted "
+              << Ctrl->grants() << ", denied " << Ctrl->denials() << ")\n";
 
   if (!TracePath.empty()) {
     std::ofstream OS(TracePath);
@@ -569,10 +644,27 @@ int cmdFuzz(const OptionParser &Opts) {
   if (!parsePolicyList(Opts, pow2(LogM), Policies))
     return 1;
 
+  // trace=FILE fuzzes seeded windows of a recorded malloc trace instead
+  // of cycling the synthetic patterns.
+  std::shared_ptr<const std::vector<TraceOp>> FuzzTrace;
+  std::string FuzzTracePath = Opts.getString("trace", "");
+  if (!FuzzTracePath.empty()) {
+    uint64_t TracePeak = 0;
+    FuzzTrace = loadMallocTrace(FuzzTracePath, TracePeak);
+    if (!FuzzTrace)
+      return 1;
+    if (FuzzTrace->empty()) {
+      std::cerr << "error: " << FuzzTracePath << ": empty trace\n";
+      return 1;
+    }
+  }
+
   DifferentialHarness::Options HO;
   HO.Policies = Policies;
   HO.C = C;
   HO.DeepCheckEvery = Deep;
+  if (!parseControllerSpec(Opts, HO.Controller))
+    return 1;
   // heap-oracle=0 drops the per-step live-vs-reference full-heap
   // cross-check (on by default; the CI fuzz smoke relies on it).
   // index-oracle is the flag's pre-promotion name, kept as an alias.
@@ -589,7 +681,8 @@ int cmdFuzz(const OptionParser &Opts) {
   std::cout << "# fuzz: " << Iterations << " schedules x "
             << Policies.size() << " policies (seed=" << BaseSeed
             << ", ops=" << NumOps << ", M=" << formatWords(pow2(LogM))
-            << ", c=" << C << ", threads=" << R.threads() << ")\n";
+            << ", c=" << C << ", threads=" << R.threads()
+            << (FuzzTrace ? ", trace-backed" : "") << ")\n";
 
   const std::vector<WorkloadFuzzer::Pattern> &Patterns =
       WorkloadFuzzer::allPatterns();
@@ -600,7 +693,12 @@ int cmdFuzz(const OptionParser &Opts) {
     FO.NumOps = NumOps;
     FO.LiveBound = pow2(LogM);
     FO.MaxLogSize = MaxLog;
-    FO.P = Patterns[size_t(I) % Patterns.size()];
+    if (FuzzTrace) {
+      FO.P = WorkloadFuzzer::Pattern::Trace;
+      FO.TraceOps = FuzzTrace;
+    } else {
+      FO.P = Patterns[size_t(I) % Patterns.size()];
+    }
     FuzzSchedule S = WorkloadFuzzer(FO).generate();
 
     FuzzIterationOutcome &O = Outcomes[size_t(I)];
@@ -650,6 +748,7 @@ int cmdFuzz(const OptionParser &Opts) {
       TO.Policies = {Failing->Policy};
       TO.C = C;
       TO.DeepCheckEvery = Deep;
+      TO.Controller = HO.Controller;
       TO.ReplayCheckPolicy.clear();
       TO.OnExecution = [&Sampler](Execution &E, const std::string &) {
         Sampler.attach(E);
@@ -784,6 +883,196 @@ int cmdReplayTrace(const OptionParser &Opts) {
   return NumProblems ? 1 : 0;
 }
 
+/// Parses a fuzz pattern name ("uniform", "comb", "mixed", ...).
+/// Pattern::Trace is not addressable by name: it needs an external trace
+/// to draw from.
+bool parseFuzzPattern(const std::string &Name, WorkloadFuzzer::Pattern &P) {
+  for (WorkloadFuzzer::Pattern Cand : WorkloadFuzzer::allPatterns())
+    if (WorkloadFuzzer::patternName(Cand) == Name) {
+      P = Cand;
+      return true;
+    }
+  return false;
+}
+
+int cmdTraceRecord(const OptionParser &Opts) {
+  std::string OutPath = Opts.getString("out", "");
+  if (OutPath.empty()) {
+    std::cerr << "error: trace-record needs out=FILE\n";
+    return 1;
+  }
+  TraceFraming Framing = TraceFraming::Binary;
+  std::string FramingName = Opts.getString("format", "binary");
+  if (!parseFraming(FramingName, Framing)) {
+    std::cerr << "error: unknown format '" << FramingName
+              << "' (text or binary)\n";
+    return 1;
+  }
+  std::string ProgName = Opts.getString("program", "");
+  bool HaveSession = Opts.has("session");
+  if (!ProgName.empty() && HaveSession) {
+    std::cerr << "error: pick one source: pattern=, program=, or session=\n";
+    return 1;
+  }
+
+  std::ofstream OS(OutPath, std::ios::binary);
+  if (!OS) {
+    std::cerr << "error: cannot write '" << OutPath << "'\n";
+    return 1;
+  }
+  TraceRecorder Rec(OS, Framing);
+  std::string Source;
+  if (!ProgName.empty()) {
+    // A live program run, recorded off the heap's event stream. The
+    // policy only shapes placement, which the trace does not record, but
+    // stays selectable so budget-starved fallback paths (which can change
+    // the *schedule* of a c-aware adversary) are reachable too.
+    unsigned LogM = unsigned(Opts.getUInt("logm", 14));
+    unsigned LogN = unsigned(Opts.getUInt("logn", 8));
+    double C = Opts.getDouble("c", 50.0);
+    uint64_t M = pow2(LogM);
+    Heap H;
+    std::string Error;
+    auto MM = createManagerChecked(Opts.getString("policy", "first-fit"), H,
+                                   C, /*LiveBound=*/M, &Error);
+    if (!MM) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::unique_ptr<Program> Prog = buildProgram(Opts, ProgName, M, LogN, C);
+    if (!Prog)
+      return 1;
+    H.setEventCallback(Rec.heapTap());
+    Execution E(*MM, *Prog, M);
+    E.run();
+    Source = Prog->name();
+  } else if (HaveSession) {
+    // One fleet session, exactly as `pcbound serve` would generate it.
+    SessionParams SP;
+    SP.FleetSeed = Opts.getUInt("seed", 1);
+    SP.TargetOps = Opts.getUInt("ops", 48);
+    SP.MaxLogSize = unsigned(Opts.getUInt("maxlog", 6));
+    SP.LiveBound =
+        std::max<uint64_t>(1, Opts.getUInt("live", uint64_t(1) << 10));
+    uint64_t GlobalId = Opts.getUInt("session", 0);
+    Rec.record(generateSessionTrace(SP, GlobalId));
+    Source = "session-" + std::to_string(GlobalId);
+  } else {
+    std::string PatName = Opts.getString("pattern", "mixed");
+    WorkloadFuzzer::Pattern P;
+    if (!parseFuzzPattern(PatName, P)) {
+      std::cerr << "error: unknown pattern '" << PatName << "' (one of:";
+      for (WorkloadFuzzer::Pattern Cand : WorkloadFuzzer::allPatterns())
+        std::cerr << " " << WorkloadFuzzer::patternName(Cand);
+      std::cerr << ")\n";
+      return 1;
+    }
+    WorkloadFuzzer::Options FO;
+    FO.Seed = Opts.getUInt("seed", 1);
+    FO.NumOps = Opts.getUInt("ops", 4096);
+    FO.LiveBound =
+        std::max<uint64_t>(1, Opts.getUInt("live", uint64_t(1) << 12));
+    FO.MaxLogSize = unsigned(Opts.getUInt("maxlog", 8));
+    FO.P = P;
+    Rec.record(WorkloadFuzzer(FO).generate().materialize());
+    Source = PatName;
+  }
+  OS.flush();
+  if (!Rec.good() || !OS) {
+    std::cerr << "error: write failure on '" << OutPath << "'\n";
+    return 1;
+  }
+  std::cout << "trace-record: " << Rec.opsWritten() << " ops (" << Source
+            << ") written to " << OutPath << " (" << framingName(Framing)
+            << ")\n";
+  return 0;
+}
+
+int cmdTraceRun(const OptionParser &Opts) {
+  std::string TracePath = Opts.getString("trace", "");
+  if (TracePath.empty()) {
+    std::cerr << "error: trace-run needs trace=FILE\n";
+    return 1;
+  }
+  std::ifstream IS(TracePath, std::ios::binary);
+  if (!IS) {
+    std::cerr << "error: cannot read '" << TracePath << "'\n";
+    return 1;
+  }
+
+  TraceRunOptions RO;
+  RO.Policy = Opts.getString("policy", "first-fit");
+  RO.C = Opts.getDouble("c", 50.0);
+  if (!parseControllerSpec(Opts, RO.Controller))
+    return 1;
+  RO.LiveBound = Opts.getUInt("live", 0);
+  RO.DeepCheckEvery = Opts.getUInt("deep", 0);
+
+  std::string TimelinePath = Opts.getString("timeline", "");
+  TimelineSampler Sampler(samplerOptions(Opts));
+  if (!TimelinePath.empty()) {
+    RO.OnExecution = [&Sampler](Execution &E) { Sampler.attach(E); };
+    RO.OnFinished = [&Sampler](Execution &E) { Sampler.finish(E); };
+  }
+
+  Profiler Prof;
+  bool Profile = Opts.getBool("profile", false);
+  TraceReader R(IS);
+  TraceRunReport Report;
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    ProfilerScope Scope(Prof);
+    Report = runTrace(R, RO, TracePath);
+  } catch (const std::exception &Ex) {
+    std::cerr << "error: " << Ex.what() << "\n";
+    return 1;
+  }
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  // The report names the trace by basename so it is relocatable across
+  // build trees; diagnostics above keep the full path.
+  size_t Slash = TracePath.find_last_of('/');
+  Report.Trace =
+      Slash == std::string::npos ? TracePath : TracePath.substr(Slash + 1);
+
+  // Wall clock (and the profiler, which holds timers) are
+  // nondeterministic, so they go to stderr; stdout carries only the
+  // deterministic report.
+  std::cerr << "# trace-run: wall " << formatDouble(Wall, 3) << "s, "
+            << uint64_t(Wall > 0.0 ? double(Report.OpsStreamed) / Wall : 0.0)
+            << " ops/s, live window " << Report.PeakLiveWindow << " ids\n";
+  if (Profile)
+    Prof.printReport(std::cerr, Wall);
+
+  if (Opts.getBool("json", false))
+    Report.printJson(std::cout);
+  else
+    Report.printText(std::cout);
+
+  std::string OutPath = Opts.getString("out", "");
+  if (!OutPath.empty()) {
+    std::string Error;
+    if (!Report.writeFile(OutPath, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::cerr << "# report written to " << OutPath << "\n";
+  }
+  if (!TimelinePath.empty()) {
+    std::string Error;
+    if (!Sampler.timeline().writeFile(TimelinePath, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::cerr << "# timeline written to " << TimelinePath << " ("
+              << Sampler.timeline().size() << " points, stride "
+              << Sampler.stride() << ")\n";
+  }
+  return 0;
+}
+
 int cmdServe(const OptionParser &Opts) {
   FleetOptions FO;
   FO.NumArenas = unsigned(Opts.getUInt("arenas", 4));
@@ -810,6 +1099,20 @@ int cmdServe(const OptionParser &Opts) {
     std::cerr << "error: need maxlog <= 24\n";
     return 1;
   }
+  if (!parseControllerSpec(Opts, FO.Shard.Controller))
+    return 1;
+  std::string SessionTracePath = Opts.getString("trace", "");
+  if (!SessionTracePath.empty()) {
+    // Trace-backed fleet: every session replays this recorded schedule.
+    // The session live bound must cover the trace's own peak, or the
+    // arena bound would under-provision the managers that rely on it.
+    uint64_t TracePeak = 0;
+    FO.Shard.Session.Trace = loadMallocTrace(SessionTracePath, TracePeak);
+    if (!FO.Shard.Session.Trace)
+      return 1;
+    FO.Shard.Session.LiveBound =
+        std::max(FO.Shard.Session.LiveBound, std::max<uint64_t>(1, TracePeak));
+  }
 
   Profiler Prof;
   if (Opts.getBool("profile", false))
@@ -831,10 +1134,25 @@ int cmdServe(const OptionParser &Opts) {
     if (FO.Prof)
       Prof.printReport(std::cerr, Wall);
 
-    if (Opts.getBool("json", false))
+    if (Opts.getBool("json", false)) {
       R.printJson(std::cout);
-    else
+    } else {
       R.printText(std::cout);
+      // Controller totals are deterministic (each shard's gate is a pure
+      // function of its fixed schedule), so they belong on stdout — but
+      // only when a gate was actually requested, keeping the default
+      // report byte-identical to earlier releases. JSON output stays
+      // pure FleetReport either way.
+      if (FO.Shard.Controller.Name != "fixed") {
+        uint64_t Grants = 0, Denials = 0;
+        for (unsigned A = 0; A != FO.NumArenas; ++A) {
+          Grants += Fleet.shard(A).controller().grants();
+          Denials += Fleet.shard(A).controller().denials();
+        }
+        std::cout << "controller " << FO.Shard.Controller.Name << ": "
+                  << Grants << " grants, " << Denials << " denials\n";
+      }
+    }
 
     std::string OutPath = Opts.getString("out", "");
     if (!OutPath.empty()) {
@@ -1088,6 +1406,10 @@ int main(int argc, char **argv) {
     return cmdFuzz(Opts);
   if (Command == "replay-trace")
     return cmdReplayTrace(Opts);
+  if (Command == "trace-record")
+    return cmdTraceRecord(Opts);
+  if (Command == "trace-run")
+    return cmdTraceRun(Opts);
   if (Command == "serve")
     return cmdServe(Opts);
   if (Command == "exact")

@@ -112,6 +112,36 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("warning: phase 'mm.compact' is in the baseline but "
                       "missing", out)
 
+    def test_gated_phase_calls_growth_fails(self):
+        # The dual blind spot of the ns_per_call gate: mm.compact firing
+        # 2x as often at identical per-call cost must fail.
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][1]["calls"] = 10  # mm.compact 5 -> 10
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("mm.compact now fires 100.0% more often", out)
+
+    def test_gated_phase_small_calls_drift_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][0]["calls"] = 11  # heap.place +10%
+        code, out = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+        self.assertIn("10 -> 11 calls (+1)", out)
+
+    def test_ungated_phase_calls_growth_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][2]["calls"] = 2000  # exec.step 1000x
+        code, _ = run_compare(BASE, fresh)
+        self.assertEqual(code, 0)
+
+    def test_calls_gate_threshold_is_adjustable(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["per_phase"][0]["calls"] = 11  # heap.place +10%
+        code, out = run_compare(BASE, fresh,
+                                ("--max-phase-calls-growth", "5"))
+        self.assertEqual(code, 1)
+        self.assertIn("heap.place now fires 10.0% more often", out)
+
     def test_new_gated_phase_is_not_gated_without_baseline(self):
         # A brand-new gated-prefix section can't regress against nothing:
         # it must warn, not fail, whatever its cost.
