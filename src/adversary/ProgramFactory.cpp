@@ -11,6 +11,7 @@
 #include "adversary/PatternWorkloads.h"
 #include "adversary/RobsonProgram.h"
 #include "adversary/SyntheticWorkloads.h"
+#include "realloc/UpdateProgram.h"
 #include "support/MathUtils.h"
 
 using namespace pcb;
@@ -48,6 +49,18 @@ std::unique_ptr<Program> pcb::createProgram(const std::string &Name,
     O.MaxLogSize = LogN;
     return std::make_unique<SawtoothProgram>(M, O);
   }
+  // The reallocation family's insert/delete adversaries (realloc/).
+  for (UpdateProgram::Shape S :
+       {UpdateProgram::Shape::FillDrain, UpdateProgram::Shape::Alternating,
+        UpdateProgram::Shape::Comb, UpdateProgram::Shape::SizeProfile,
+        UpdateProgram::Shape::Mix}) {
+    if (Name == std::string("update-") + UpdateProgram::shapeName(S)) {
+      UpdateProgram::Options O;
+      O.MaxLogSize = LogN;
+      O.S = S;
+      return std::make_unique<UpdateProgram>(M, O);
+    }
+  }
   return nullptr;
 }
 
@@ -73,8 +86,13 @@ std::string pcb::programNameList() {
 }
 
 std::vector<std::string> pcb::allProgramNames() {
-  return {"robson",      "cohen-petrank", "random-churn", "markov-phase",
-          "stack-lifo", "queue-fifo",    "sawtooth"};
+  std::vector<std::string> All = {"robson",       "cohen-petrank",
+                                  "random-churn", "markov-phase",
+                                  "stack-lifo",   "queue-fifo",
+                                  "sawtooth"};
+  for (const std::string &Name : updateProgramNames())
+    All.push_back(Name);
+  return All;
 }
 
 std::vector<std::string> pcb::adversarialProgramNames() {
@@ -84,4 +102,9 @@ std::vector<std::string> pcb::adversarialProgramNames() {
 std::vector<std::string> pcb::ordinaryProgramNames() {
   return {"random-churn", "markov-phase", "stack-lifo", "queue-fifo",
           "sawtooth"};
+}
+
+std::vector<std::string> pcb::updateProgramNames() {
+  return {"update-fill-drain", "update-alternating", "update-comb",
+          "update-size-profile", "update-mix"};
 }

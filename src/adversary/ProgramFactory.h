@@ -27,7 +27,9 @@ namespace pcb {
 /// (used by the PF adversary to tune sigma and x). Returns nullptr for
 /// unknown names. Known names: "robson", "cohen-petrank",
 /// "random-churn", "markov-phase", "stack-lifo", "queue-fifo",
-/// "sawtooth".
+/// "sawtooth", and the reallocation family's insert/delete adversaries
+/// "update-fill-drain", "update-alternating", "update-comb",
+/// "update-size-profile", "update-mix".
 std::unique_ptr<Program> createProgram(const std::string &Name, uint64_t M,
                                        unsigned LogN, double C);
 
@@ -52,6 +54,10 @@ std::vector<std::string> adversarialProgramNames();
 
 /// The ordinary-workload subset (the benchmarks-behave-better contrast).
 std::vector<std::string> ordinaryProgramNames();
+
+/// The reallocation family's insert/delete adversaries (realloc/
+/// UpdateProgram.h) — the Bender et al. and Jin update-model shapes.
+std::vector<std::string> updateProgramNames();
 
 } // namespace pcb
 

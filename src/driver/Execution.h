@@ -52,6 +52,14 @@ struct ExecutionResult {
   double wasteFactor(uint64_t M) const {
     return M == 0 ? 0.0 : double(HeapSize) / double(M);
   }
+
+  /// Moved words per allocated word — the reallocation family's cost
+  /// measure (0 before anything was allocated).
+  double overheadRatio() const {
+    return TotalAllocatedWords == 0
+               ? 0.0
+               : double(MovedWords) / double(TotalAllocatedWords);
+  }
 };
 
 /// The execution engine; also the MutatorContext handed to the program.

@@ -15,7 +15,10 @@
 /// Checked after every step (cheap, O(1)):
 ///   * footprint >= live words (the heap never under-reports its size),
 ///   * the footprint (high-water mark) never shrinks,
-///   * the c-partial ledger holds at the endpoint.
+///   * the c-partial ledger holds at the endpoint,
+///   * overhead-ratio — cumulative moved words stay within the
+///     manager's declared overheadBound() multiple of allocated words
+///     (finite for c-partial managers and the reallocation family).
 ///
 /// Checked every DeepCheckEvery steps and at the end (O(objects+events)):
 ///   * Heap::checkConsistency — live objects disjoint, free index the
@@ -23,7 +26,11 @@
 ///   * auditEvents over the recorded event stream reproduces the heap's
 ///     statistics exactly (the independent-witness property),
 ///   * auditBudgetHistory — the c-partial constraint held on *every*
-///     prefix of the execution, not merely at the end.
+///     prefix of the execution, not merely at the end,
+///   * ledger-reconcile / overhead-history — for reallocation managers,
+///     the ReallocationLedger's own counters must equal the heap's
+///     cumulative move/allocation statistics end-to-end, and its
+///     worst-prefix ratio must respect the bound.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -17,6 +17,9 @@
 #include "mm/SegregatedFitManager.h"
 #include "mm/SequentialFitManagers.h"
 #include "mm/SlidingCompactor.h"
+#include "realloc/CostObliviousAllocator.h"
+#include "realloc/NeverMoveAllocator.h"
+#include "realloc/TightSpanAllocator.h"
 
 using namespace pcb;
 
@@ -55,6 +58,15 @@ std::unique_ptr<MemoryManager> pcb::createManager(const std::string &Policy,
     return LiveBound == 0
                ? nullptr
                : std::make_unique<BumpCompactor>(H, C, LiveBound);
+  // The reallocation family (DESIGN.md §17). These ignore C: their
+  // budget is the overhead bound in the ReallocationLedger, not a
+  // c-partial quota.
+  if (Policy == "realloc-never")
+    return std::make_unique<NeverMoveAllocator>(H);
+  if (Policy == "realloc-bucket")
+    return std::make_unique<CostObliviousAllocator>(H);
+  if (Policy == "realloc-jin")
+    return std::make_unique<TightSpanAllocator>(H);
   return nullptr;
 }
 
@@ -86,6 +98,13 @@ std::string pcb::managerPolicyList() {
 }
 
 std::vector<std::string> pcb::allManagerPolicies() {
+  std::vector<std::string> All = compactionFamilyPolicies();
+  for (const std::string &Name : reallocManagerPolicies())
+    All.push_back(Name);
+  return All;
+}
+
+std::vector<std::string> pcb::compactionFamilyPolicies() {
   return {"first-fit",      "best-fit",       "next-fit",
           "worst-fit",      "aligned-fit",    "buddy",
           "segregated-fit", "chunked",        "meshing",
@@ -93,9 +112,20 @@ std::vector<std::string> pcb::allManagerPolicies() {
           "sliding",        "sliding-unlimited", "bump-compactor"};
 }
 
+std::vector<std::string> pcb::reallocManagerPolicies() {
+  return {"realloc-never", "realloc-bucket", "realloc-jin"};
+}
+
+bool pcb::isReallocPolicy(const std::string &Policy) {
+  for (const std::string &Name : reallocManagerPolicies())
+    if (Name == Policy)
+      return true;
+  return false;
+}
+
 std::vector<std::string> pcb::nonMovingManagerPolicies() {
   return {"first-fit",   "best-fit", "next-fit",      "worst-fit",
-          "aligned-fit", "buddy",    "segregated-fit"};
+          "aligned-fit", "buddy",    "segregated-fit", "realloc-never"};
 }
 
 std::vector<std::string> pcb::compactingManagerPolicies() {

@@ -28,7 +28,9 @@ namespace pcb {
 /// "buddy", "segregated-fit", "evacuating", "hybrid", "sliding",
 /// "sliding-unlimited" (ignores C; the non-c-partial ideal),
 /// "bump-compactor" (requires \p LiveBound, the program's M — its
-/// compaction period is c * LiveBound).
+/// compaction period is c * LiveBound), and the reallocation family
+/// "realloc-never", "realloc-bucket", "realloc-jin" (ignore C; budgeted
+/// by their ReallocationLedger overhead bound instead).
 std::unique_ptr<MemoryManager> createManager(const std::string &Policy,
                                              Heap &H, double C,
                                              uint64_t LiveBound = 0);
@@ -54,6 +56,19 @@ std::vector<std::string> nonMovingManagerPolicies();
 
 /// The c-partial compacting subset.
 std::vector<std::string> compactingManagerPolicies();
+
+/// The Cohen–Petrank compaction family: every policy scored by peak
+/// footprint under a c-partial move budget (allManagerPolicies minus
+/// the reallocation family).
+std::vector<std::string> compactionFamilyPolicies();
+
+/// The reallocation family (realloc/): policies scored by the overhead
+/// ratio — cumulative moved words per allocated word. They ignore the
+/// factory's C parameter.
+std::vector<std::string> reallocManagerPolicies();
+
+/// True when \p Policy belongs to the reallocation family.
+bool isReallocPolicy(const std::string &Policy);
 
 /// True when \p Policy names a non-moving manager — one that must never
 /// emit a Move event. The fuzzing harness uses this for policy-relative

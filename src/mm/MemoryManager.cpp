@@ -8,10 +8,19 @@
 #include "mm/MemoryManager.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace pcb;
 
 MemoryManager::~MemoryManager() = default;
+
+double MemoryManager::overheadBound() const {
+  if (Ledger.isUnlimited())
+    return std::numeric_limits<double>::infinity();
+  // Each c-partial move of s words is funded by c*s words of fresh
+  // allocation, so cumulative moves never exceed allocations / c.
+  return 1.0 / Ledger.quotaDenominator();
+}
 
 ObjectId MemoryManager::allocate(uint64_t Size) {
   assert(Size != 0 && "allocating zero words");
@@ -26,7 +35,11 @@ ObjectId MemoryManager::allocate(uint64_t Size) {
 void MemoryManager::free(ObjectId Id) {
   assert(TheHeap.isLive(Id) && "freeing a dead or unknown object");
   onFreeing(Id);
+  const Object &O = TheHeap.object(Id);
+  Addr From = O.Address;
+  uint64_t Size = O.Size;
   TheHeap.free(Id);
+  onFreed(Id, From, Size);
 }
 
 bool MemoryManager::tryMoveObject(ObjectId Id, Addr To) {

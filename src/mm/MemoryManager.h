@@ -26,6 +26,8 @@
 
 namespace pcb {
 
+class ReallocationLedger;
+
 /// Base class for all memory managers. Subclasses implement the placement
 /// policy in placeFor() and may use tryMoveObject() to compact.
 class MemoryManager {
@@ -72,6 +74,22 @@ public:
   const Heap &heap() const { return TheHeap; }
   const CompactionLedger &ledger() const { return Ledger; }
 
+  /// The reallocation-family ledger when this manager maintains one
+  /// (realloc/ReallocManager.h); null for the compaction family. The
+  /// fuzzer's oracle uses it to reconcile ledger spend against the
+  /// heap's cumulative move statistics end-to-end.
+  virtual const ReallocationLedger *reallocationLedger() const {
+    return nullptr;
+  }
+
+  /// The manager's declared overhead bound: on every prefix of an
+  /// execution, cumulative moved words stay at or below this multiple
+  /// of cumulative allocated words. For c-partial managers that is 1/c
+  /// (each move of s words is funded by c*s freshly allocated words);
+  /// unlimited baselines return infinity; reallocation managers
+  /// override this with the bound of their paper scheme.
+  virtual double overheadBound() const;
+
 protected:
   /// Policy hook: returns the address at which to place \p Size words.
   /// The returned range must be free. May perform compaction first.
@@ -83,6 +101,18 @@ protected:
   /// Policy hook: metadata update just before an object's words are
   /// returned to the free space. The object is still live when called.
   virtual void onFreeing(ObjectId Id) { (void)Id; }
+
+  /// Policy hook: runs after an object's words were returned to the
+  /// free space, with the vacated range passed explicitly (the object
+  /// is dead by now and no longer in the table). The reallocation
+  /// managers react here — backfilling or repacking around the new
+  /// hole — which onFreeing cannot do because the dying object still
+  /// occupies its slot when that hook fires.
+  virtual void onFreed(ObjectId Id, Addr From, uint64_t Size) {
+    (void)Id;
+    (void)From;
+    (void)Size;
+  }
 
   /// Attempts to move \p Id to \p To. Fails (returning false, no state
   /// change) when the c-partial budget does not cover the object. On

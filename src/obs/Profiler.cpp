@@ -31,6 +31,8 @@ const char *Profiler::sectionName(Section S) {
     return "mm.mesh_probe";
   case SecChunkTrigger:
     return "mm.chunk_trigger";
+  case SecRealloc:
+    return "mm.realloc";
   case SecStep:
     return "exec.step";
   case SecServeFlush:
@@ -55,6 +57,8 @@ const char *Profiler::counterName(Counter C) {
     return "mesh.merges";
   case CtrChunkEvacuations:
     return "chunk.evacuations";
+  case CtrReallocPasses:
+    return "realloc.passes";
   case CtrTimelineSamples:
     return "timeline.samples";
   case CtrServeFlushes:

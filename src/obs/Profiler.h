@@ -55,6 +55,7 @@ public:
     SecCompaction,   ///< a manager's compaction routine
     SecMeshProbe,    ///< MeshingCompactor's word-AND disjointness probes
     SecChunkTrigger, ///< ChunkedManager's per-chunk trigger processing
+    SecRealloc,      ///< a reallocation manager's backfill/repack routine
     SecStep,         ///< Execution::runStep (program + manager + checks)
     SecServeFlush,   ///< ArenaShard::flush (one applied request batch)
     SecTraceRead,    ///< TraceReader::next (parse + validate one op)
@@ -68,6 +69,7 @@ public:
     CtrMeshProbes,        ///< chunk pairs probed for occupancy disjointness
     CtrMeshMerges,        ///< chunk pairs merged by the meshing compactor
     CtrChunkEvacuations,  ///< chunks evacuated by the chunked manager
+    CtrReallocPasses,     ///< reallocation backfill/repack invocations
     CtrTimelineSamples,   ///< points recorded by a TimelineSampler
     CtrServeFlushes,      ///< request batches applied by fleet shards
     CtrServeSteals,       ///< arenas stolen by idle fleet workers

@@ -1,0 +1,64 @@
+//===- realloc/TightSpanAllocator.h - Jin-style repacking -------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-level reduction of Jin's "Memory Reallocation with
+/// Polylogarithmic Overhead" scheme, with identical cost accounting.
+/// The allocator tracks the top of its span (the highest live end since
+/// the last complete repack) and repacks the whole prefix — a sliding
+/// compaction to address 0 — whenever dead words inside the span exceed
+/// an epsilon fraction of the live words (epsilon = 1/2 here). Each
+/// repack moves at most the live size, and the trigger guarantees at
+/// least live/2 words were freed since the span was last tight, so
+/// moved <= 2 * freed <= 2 * allocated on every prefix: overhead bound
+/// 2 (= 1/epsilon). Jin's full construction recurses this idea over
+/// log n levels to get polylog overhead *and* tight footprint; one
+/// level keeps the amortization honest at the cost of a constant bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_REALLOC_TIGHTSPANALLOCATOR_H
+#define PCBOUND_REALLOC_TIGHTSPANALLOCATOR_H
+
+#include "realloc/ReallocManager.h"
+
+namespace pcb {
+
+class TightSpanAllocator : public ReallocManager {
+public:
+  explicit TightSpanAllocator(Heap &H)
+      : ReallocManager(H, /*OverheadBound=*/2.0) {}
+
+  std::string name() const override { return "realloc-jin"; }
+
+  /// Repack passes started so far (for tests and bench reporting).
+  uint64_t rebuilds() const { return NumRebuilds; }
+
+  /// The current span top: every live word lies below this address.
+  Addr spanTop() const { return Top; }
+
+protected:
+  Addr placeFor(uint64_t Size) override;
+  void onPlaced(ObjectId Id) override;
+  void onFreed(ObjectId Id, Addr From, uint64_t Size) override;
+
+private:
+  void maybeRebuild();
+  uint64_t rebuildPass();
+
+  // Highest live end since the last complete repack; dead-inside-span
+  // is Top - LiveWords.
+  Addr Top = 0;
+  // Guards against re-entry: a program that frees moved objects (PF)
+  // re-enters onFreed from inside the pass.
+  bool InRebuild = false;
+  uint64_t NumRebuilds = 0;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_REALLOC_TIGHTSPANALLOCATOR_H

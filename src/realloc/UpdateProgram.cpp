@@ -1,0 +1,199 @@
+//===- realloc/UpdateProgram.cpp - Insert/delete adversaries -------------===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "realloc/UpdateProgram.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pcb;
+
+const char *UpdateProgram::shapeName(Shape S) {
+  switch (S) {
+  case Shape::FillDrain:
+    return "fill-drain";
+  case Shape::Alternating:
+    return "alternating";
+  case Shape::Comb:
+    return "comb";
+  case Shape::SizeProfile:
+    return "size-profile";
+  case Shape::Mix:
+    return "mix";
+  }
+  return "?";
+}
+
+std::string UpdateProgram::name() const {
+  return std::string("update-") + shapeName(Opts.S);
+}
+
+bool UpdateProgram::tryAlloc(MutatorContext &Ctx, uint64_t Size) {
+  uint64_t Room = Ctx.headroom();
+  if (Room == 0)
+    return false;
+  Mine.push_back(Ctx.allocate(std::max<uint64_t>(1, std::min(Size, Room))));
+  return true;
+}
+
+void UpdateProgram::freeAt(MutatorContext &Ctx, size_t Index) {
+  assert(Index < Mine.size());
+  Ctx.free(Mine[Index]);
+  Mine.erase(Mine.begin() + Index);
+}
+
+bool UpdateProgram::step(MutatorContext &Ctx) {
+  if (StepsDone >= Opts.Steps)
+    return false;
+  Shape S = Opts.S;
+  if (S == Shape::Mix) {
+    // Rotate to a fresh seeded shape every 16 steps, keeping whatever
+    // live set the previous segment built — the hand-offs are part of
+    // the stress.
+    if (StepsDone % 16 == 0) {
+      switch (Rand.nextBelow(4)) {
+      case 0:
+        Current = Shape::FillDrain;
+        break;
+      case 1:
+        Current = Shape::Alternating;
+        break;
+      case 2:
+        Current = Shape::Comb;
+        break;
+      default:
+        Current = Shape::SizeProfile;
+        break;
+      }
+    }
+    S = Current;
+  }
+  stepShape(Ctx, S);
+  ++StepsDone;
+  return StepsDone < Opts.Steps;
+}
+
+void UpdateProgram::stepShape(MutatorContext &Ctx, Shape S) {
+  switch (S) {
+  case Shape::FillDrain:
+    stepFillDrain(Ctx);
+    break;
+  case Shape::Alternating:
+    stepAlternating(Ctx);
+    break;
+  case Shape::Comb:
+    stepComb(Ctx);
+    break;
+  case Shape::SizeProfile:
+    stepSizeProfile(Ctx);
+    break;
+  case Shape::Mix:
+    break; // resolved by the caller
+  }
+}
+
+void UpdateProgram::stepFillDrain(MutatorContext &Ctx) {
+  uint64_t Target = uint64_t(double(M) * Opts.TargetOccupancy);
+  if (Draining) {
+    // Drain FIFO: the oldest objects sit lowest, so their departure
+    // opens dead space at the bottom of the span.
+    for (unsigned I = 0; I != 32 && !Mine.empty(); ++I)
+      freeAt(Ctx, 0);
+    if (Mine.empty())
+      Draining = false;
+    return;
+  }
+  for (unsigned I = 0; I != 32; ++I) {
+    if (Ctx.heap().stats().LiveWords >= Target ||
+        !tryAlloc(Ctx, uint64_t(1) << Rand.nextBelow(Opts.MaxLogSize + 1)))
+      break;
+  }
+  if (Ctx.heap().stats().LiveWords >= Target)
+    Draining = true;
+}
+
+void UpdateProgram::stepAlternating(MutatorContext &Ctx) {
+  // Warm up a pool before the staircase has anything to climb.
+  if (Mine.size() < 8) {
+    tryAlloc(Ctx, uint64_t(1) << Rand.nextBelow(Opts.MaxLogSize + 1));
+    return;
+  }
+  // Free the lowest-placed object, then ask for one word more than it
+  // held: the vacated hole can never fit the replacement, so first-fit
+  // placement creeps upward and only movement can reclaim the bottom.
+  size_t Lowest = 0;
+  for (size_t I = 1; I != Mine.size(); ++I)
+    if (Ctx.heap().object(Mine[I]).Address <
+        Ctx.heap().object(Mine[Lowest]).Address)
+      Lowest = I;
+  uint64_t Size = Ctx.heap().object(Mine[Lowest]).Size;
+  freeAt(Ctx, Lowest);
+  uint64_t Cap = uint64_t(1) << Opts.MaxLogSize;
+  tryAlloc(Ctx, std::min(Size + 1, Cap));
+}
+
+void UpdateProgram::stepComb(MutatorContext &Ctx) {
+  const unsigned Teeth = 16;
+  uint64_t S = uint64_t(1) << CombLog;
+  switch (CombPhase) {
+  case 0: // lay down the comb
+    for (unsigned I = 0; I != 2 * Teeth; ++I)
+      if (!tryAlloc(Ctx, S))
+        break;
+    CombPhase = 1;
+    break;
+  case 1: { // free alternate teeth (every other one of the last row)
+    size_t Row = std::min<size_t>(Mine.size(), 2 * Teeth);
+    size_t Base = Mine.size() - Row;
+    // Walk backwards so the erase indices stay valid.
+    for (size_t I = Row; I-- > 0;)
+      if (I % 2 == 1)
+        freeAt(Ctx, Base + I);
+    CombPhase = 2;
+    break;
+  }
+  case 2: // demand doubled teeth that no comb gap can hold
+    for (unsigned I = 0; I != Teeth; ++I)
+      if (!tryAlloc(Ctx, 2 * S))
+        break;
+    CombPhase = 0;
+    CombLog = (CombLog + 1) % std::max(1u, Opts.MaxLogSize);
+    // Clear the board for the next, larger comb.
+    while (!Mine.empty())
+      freeAt(Ctx, Mine.size() - 1);
+    break;
+  }
+}
+
+void UpdateProgram::stepSizeProfile(MutatorContext &Ctx) {
+  // Advance the popular size class every 4 steps; 90% of the previous
+  // phase's objects die, 10% survive as long-lived fragmentation seeds.
+  if (StepsDone % 4 == 0) {
+    std::vector<ObjectId> Survivors;
+    for (size_t I = 0; I != PrevPhase.size(); ++I) {
+      ObjectId Id = PrevPhase[I];
+      auto It = std::find(Mine.begin(), Mine.end(), Id);
+      if (It == Mine.end())
+        continue;
+      if (Rand.nextBool(0.1)) {
+        Survivors.push_back(Id);
+        continue;
+      }
+      Mine.erase(It);
+      Ctx.free(Id);
+    }
+    PrevPhase = std::move(Survivors);
+    ++ProfilePhase;
+  }
+  uint64_t Size = uint64_t(1) << (ProfilePhase % (Opts.MaxLogSize + 1));
+  uint64_t Target = uint64_t(double(M) * Opts.TargetOccupancy);
+  for (unsigned I = 0; I != 16; ++I) {
+    if (Ctx.heap().stats().LiveWords >= Target || !tryAlloc(Ctx, Size))
+      break;
+    PrevPhase.push_back(Mine.back());
+  }
+}

@@ -1,0 +1,99 @@
+//===- realloc/UpdateProgram.h - Insert/delete adversaries ------*- C++ -*-===//
+//
+// Part of pcbound, a reproduction of Cohen & Petrank, "Limitations of
+// Partial Compaction: Towards Practical Bounds" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reallocation family's adversary programs: pure insert/delete
+/// sequences in the update model of Bender et al. ("Cost-Oblivious
+/// Storage Reallocation") and Jin ("Memory Reallocation with
+/// Polylogarithmic Overhead"). Unlike PF, an UpdateProgram does not
+/// free objects when they move (onObjectMoved returns false — the
+/// update model charges the *algorithm* for moves, the adversary only
+/// chooses the update sequence). The shapes:
+///
+///  - FillDrain: fill to target occupancy, then drain FIFO — the
+///    sawtooth that maximizes a repacking scheme's dead-space trigger.
+///  - Alternating: Bender et al.'s staircase — free the lowest-placed
+///    object, reallocate one word larger, so the vacated hole can never
+///    fit the replacement and first-fit creep forces movement.
+///  - Comb: the Cohen–Petrank comb re-aimed at reallocation — lay down
+///    teeth of size s, free alternate teeth, demand 2s objects, double.
+///  - SizeProfile: Jin-style size-profile stressor — the popular size
+///    class sweeps 2^0, 2^1, ..., with 90% of each phase dying when the
+///    next begins, churning every bucket of a size-classed scheme.
+///  - Mix: seeded rotation through the four shapes in segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCBOUND_REALLOC_UPDATEPROGRAM_H
+#define PCBOUND_REALLOC_UPDATEPROGRAM_H
+
+#include "adversary/Program.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcb {
+
+class UpdateProgram : public Program {
+public:
+  enum class Shape { FillDrain, Alternating, Comb, SizeProfile, Mix };
+
+  struct Options {
+    uint64_t Steps = 96;
+    /// Largest object: 2^MaxLogSize words.
+    unsigned MaxLogSize = 8;
+    /// Target live fraction of M for the filling shapes.
+    double TargetOccupancy = 0.85;
+    uint64_t Seed = 1;
+    Shape S = Shape::Mix;
+  };
+
+  UpdateProgram(uint64_t M, const Options &O)
+      : M(M), Opts(O), Rand(O.Seed) {}
+
+  bool step(MutatorContext &Ctx) override;
+  std::string name() const override;
+
+  /// The shape a "update-<suffix>" program name denotes.
+  static const char *shapeName(Shape S);
+
+private:
+  // Allocates min(Size, headroom) words (never zero); returns false
+  // when there is no headroom at all.
+  bool tryAlloc(MutatorContext &Ctx, uint64_t Size);
+  void freeAt(MutatorContext &Ctx, size_t Index);
+  // One unit of work for a concrete shape (Mix delegates here).
+  void stepShape(MutatorContext &Ctx, Shape S);
+
+  void stepFillDrain(MutatorContext &Ctx);
+  void stepAlternating(MutatorContext &Ctx);
+  void stepComb(MutatorContext &Ctx);
+  void stepSizeProfile(MutatorContext &Ctx);
+
+  uint64_t M;
+  Options Opts;
+  Rng Rand;
+  uint64_t StepsDone = 0;
+  std::vector<ObjectId> Mine;
+
+  // FillDrain
+  bool Draining = false;
+  // Comb
+  unsigned CombLog = 0;
+  unsigned CombPhase = 0;
+  // SizeProfile
+  unsigned ProfilePhase = 0;
+  std::vector<ObjectId> PrevPhase;
+  // Mix
+  Shape Current = Shape::FillDrain;
+};
+
+} // namespace pcb
+
+#endif // PCBOUND_REALLOC_UPDATEPROGRAM_H

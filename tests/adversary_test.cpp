@@ -366,7 +366,9 @@ TEST(ProgramFactory, CreatesEveryProgram) {
     EXPECT_FALSE(P->name().empty());
   }
   EXPECT_EQ(createProgram("no-such-program", pow2(12), 6, 20.0), nullptr);
-  EXPECT_EQ(adversarialProgramNames().size() + ordinaryProgramNames().size(),
+  // The three name lists partition the full registry.
+  EXPECT_EQ(adversarialProgramNames().size() + ordinaryProgramNames().size() +
+                updateProgramNames().size(),
             allProgramNames().size());
 }
 

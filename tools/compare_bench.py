@@ -20,6 +20,15 @@ timings, call counts on an identical grid are deterministic, so growth
 past --max-phase-calls-growth percent (default 25) in a gated phase
 fails the comparison; an intended cadence change must regenerate the
 committed baseline.
+
+The overhead gate covers the reallocation family's quality metric the
+same way the throughput gate covers speed: baselines that carry
+"overhead_cells" (bench_realloc's per-cell words-moved-per-word-
+allocated ratios) fail when any cell's fresh overhead grows more than
+--max-overhead-growth percent over the baseline. Overhead on an
+identical grid is deterministic, so any growth is a behaviour change —
+an intended algorithm change must regenerate the committed baseline.
+Cells present on only one side warn by name, like phases.
 """
 
 import argparse
@@ -47,6 +56,10 @@ def main():
                          "phases, in percent (counts are deterministic "
                          "per grid, so growth means the phase fires "
                          "more often, not runner noise)")
+    ap.add_argument("--max-overhead-growth", type=float, default=1.0,
+                    help="maximum growth of any overhead_cells ratio "
+                         "(words moved per word allocated), in percent; "
+                         "ratios are deterministic per grid")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -66,7 +79,7 @@ def main():
 
     def gated(section):
         return (section.startswith("heap.") or section.startswith("fsi.")
-                or section == "mm.compact")
+                or section in ("mm.compact", "mm.realloc"))
 
     failed = False
     base_phases = {p["section"]: p for p in base.get("per_phase", [])}
@@ -105,6 +118,29 @@ def main():
                       f"> {args.max_phase_calls_growth}% allowed)",
                       file=sys.stderr)
                 failed = True
+
+    # The reallocation family's quality gate: per-cell overhead ratios.
+    base_cells = {c["cell"]: c for c in base.get("overhead_cells", [])}
+    fresh_cells = {c["cell"]: c for c in fresh.get("overhead_cells", [])}
+    for cell in sorted(base_cells.keys() - fresh_cells.keys()):
+        print(f"warning: overhead cell '{cell}' is in the baseline but "
+              f"missing from the fresh run (not gated)")
+    for cell in sorted(fresh_cells.keys() - base_cells.keys()):
+        print(f"warning: overhead cell '{cell}' is new in the fresh run "
+              f"(no baseline; not gated)")
+    for cell in sorted(base_cells.keys() & fresh_cells.keys()):
+        b_over = base_cells[cell]["overhead"]
+        f_over = fresh_cells[cell]["overhead"]
+        # The absolute epsilon keeps a zero-overhead baseline (the
+        # never-move envelope) strict without tripping on formatting.
+        allowed = b_over + max(b_over * args.max_overhead_growth / 100.0,
+                               1e-9)
+        if f_over > allowed:
+            print(f"error: overhead of {cell} regressed: {b_over} -> "
+                  f"{f_over} words moved per word allocated "
+                  f"(> {args.max_overhead_growth}% growth allowed)",
+                  file=sys.stderr)
+            failed = True
 
     if change < -args.max_regression:
         print(f"error: steps_per_second regressed {-change:.1f}% "

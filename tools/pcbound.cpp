@@ -81,6 +81,7 @@
 #include "obs/Profiler.h"
 #include "obs/Timeline.h"
 #include "obs/TimelineSampler.h"
+#include "realloc/ReallocationLedger.h"
 #include "runner/ExperimentGrid.h"
 #include "service/ServiceFleet.h"
 #include "runner/ResultSink.h"
@@ -111,18 +112,18 @@ int usage() {
       << "  bounds    [M=256M n=1M c=50]\n"
       << "  plan      [M=256M n=1M target=2.5]\n"
       << "  simulate  [program=cohen-petrank policy=evacuating logm=14\n"
-      << "             logn=8 c=50 trace=FILE verbose=0 timeline=FILE\n"
-      << "             stride=1 controller=fixed period=16 c1=1.0\n"
-      << "             smoothing=0.25]\n"
+      << "             logn=8 c=50 family=all trace=FILE verbose=0\n"
+      << "             timeline=FILE stride=1 controller=fixed period=16\n"
+      << "             c1=1.0 smoothing=0.25]\n"
       << "  profile   [program=pf policy=evacuating logm=14 logn=8 c=50\n"
       << "             stride=1 timeline=FILE chart=1]\n"
       << "  replay    trace=FILE [policy=first-fit c=50 logm=14]\n"
-      << "  sweep     [program=cohen-petrank policies=all cs=10,25,50,75,100\n"
-      << "             logm=14 logn=8 --threads=<ncores> csv=0 json=0 out=\n"
-      << "             timeline=PREFIX stride=1]\n"
-      << "  fuzz      [seed=1 iterations=50 ops=384 policies=all c=50\n"
-      << "             logm=12 maxlog=8 deep=64 index-oracle=1 repro-dir=.\n"
-      << "             --threads=N timeline=PREFIX trace=FILE\n"
+      << "  sweep     [program=cohen-petrank policies=all family=all\n"
+      << "             cs=10,25,50,75,100 logm=14 logn=8 --threads=<ncores>\n"
+      << "             csv=0 json=0 out= timeline=PREFIX stride=1]\n"
+      << "  fuzz      [seed=1 iterations=50 ops=384 policies=all family=all\n"
+      << "             c=50 logm=12 maxlog=8 deep=64 index-oracle=1\n"
+      << "             repro-dir=. --threads=N timeline=PREFIX trace=FILE\n"
       << "             controller=fixed period=16 c1=1.0 smoothing=0.25]\n"
       << "  replay-trace trace=FILE [policy=first-fit c=50]\n"
       << "  trace-record out=FILE [pattern=mixed | program=NAME | session=ID]\n"
@@ -141,8 +142,11 @@ int usage() {
       << "             --threads=N csv=0 json=0 out=]\n"
       << "  policies\n"
       << "programs: robson, cohen-petrank, random-churn, markov-phase,\n"
-      << "          stack-lifo, queue-fifo, sawtooth,\n"
-      << "          spec (with spec=FILE; see docs/MANUAL.md)\n"
+      << "          stack-lifo, queue-fifo, sawtooth, update-fill-drain,\n"
+      << "          update-alternating, update-comb, update-size-profile,\n"
+      << "          update-mix, spec (with spec=FILE; see docs/MANUAL.md)\n"
+      << "families: all, compaction, realloc (default policy/program set\n"
+      << "          for simulate/sweep/fuzz)\n"
       << "controllers: fixed, periodic (period=), membalancer (c1=\n"
       << "          smoothing=)\n";
   return 2;
@@ -275,8 +279,19 @@ loadMallocTrace(const std::string &Path, uint64_t &PeakLiveWords) {
 }
 
 int cmdSimulate(const OptionParser &Opts) {
-  std::string ProgName = Opts.getString("program", "cohen-petrank");
-  std::string Policy = Opts.getString("policy", "evacuating");
+  // family=realloc retargets the defaults at the reallocation
+  // workbench; explicit program=/policy= always win.
+  std::string Family = Opts.getString("family", "all");
+  if (Family != "all" && Family != "compaction" && Family != "realloc") {
+    std::cerr << "error: unknown family '" << Family
+              << "'; valid families: all, compaction, realloc\n";
+    return 1;
+  }
+  bool Realloc = Family == "realloc";
+  std::string ProgName =
+      Opts.getString("program", Realloc ? "update-mix" : "cohen-petrank");
+  std::string Policy =
+      Opts.getString("policy", Realloc ? "realloc-jin" : "evacuating");
   unsigned LogM = unsigned(Opts.getUInt("logm", 14));
   unsigned LogN = unsigned(Opts.getUInt("logn", 8));
   double C = Opts.getDouble("c", 50.0);
@@ -337,6 +352,16 @@ int cmdSimulate(const OptionParser &Opts) {
             << "  utilization         " << formatDouble(FM.Utilization, 3)
             << ", external fragmentation "
             << formatDouble(FM.ExternalFragmentation, 3) << "\n";
+  // The reallocation family's score line; compaction-family output is
+  // unchanged byte for byte.
+  if (const ReallocationLedger *RL = MM->reallocationLedger())
+    std::cout << "  overhead ratio      "
+              << formatDouble(RL->overheadRatio(), 4) << " (worst prefix "
+              << formatDouble(RL->maxPrefixRatio(), 4) << ", bound "
+              << (std::isfinite(MM->overheadBound())
+                      ? formatDouble(MM->overheadBound(), 1)
+                      : std::string("inf"))
+              << ")\n";
   // The default fixed trigger never denies, so the line (and the whole
   // gate) only appears when a controller was actually asked for —
   // keeping the report byte-identical to earlier releases otherwise.
@@ -477,6 +502,52 @@ int cmdReplay(const OptionParser &Opts) {
   return 0;
 }
 
+/// Resolves the family= axis ("all", "compaction", "realloc") to the
+/// policy list it denotes — the default when policies= is absent or
+/// "all". Prints an error and returns false on an unknown family.
+bool familyPolicies(const OptionParser &Opts,
+                    std::vector<std::string> &Policies) {
+  std::string Family = Opts.getString("family", "all");
+  if (Family == "all")
+    Policies = allManagerPolicies();
+  else if (Family == "compaction")
+    Policies = compactionFamilyPolicies();
+  else if (Family == "realloc")
+    Policies = reallocManagerPolicies();
+  else {
+    std::cerr << "error: unknown family '" << Family
+              << "'; valid families: all, compaction, realloc\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses the policies= option ("all" — meaning the family= axis — or a
+/// comma-separated list), validating every name against the factory.
+bool parsePolicyList(const OptionParser &Opts, uint64_t LiveBound,
+                     std::vector<std::string> &Policies) {
+  std::string PolicyList = Opts.getString("policies", "all");
+  if (PolicyList == "all") {
+    if (!familyPolicies(Opts, Policies))
+      return false;
+  } else {
+    std::istringstream IS(PolicyList);
+    std::string Item;
+    while (std::getline(IS, Item, ','))
+      if (!Item.empty())
+        Policies.push_back(Item);
+  }
+  for (const std::string &Policy : Policies) {
+    Heap Probe;
+    std::string Error;
+    if (!createManagerChecked(Policy, Probe, 50.0, LiveBound, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return false;
+    }
+  }
+  return !Policies.empty();
+}
+
 int cmdSweep(const OptionParser &Opts) {
   std::string ProgName = Opts.getString("program", "cohen-petrank");
   unsigned LogM = unsigned(Opts.getUInt("logm", 14));
@@ -499,28 +570,11 @@ int cmdSweep(const OptionParser &Opts) {
       Cs.push_back(Value);
     }
   }
-  std::vector<std::string> Policies;
-  std::string PolicyList = Opts.getString("policies", "all");
-  if (PolicyList == "all") {
-    Policies = allManagerPolicies();
-  } else {
-    std::istringstream IS(PolicyList);
-    std::string Item;
-    while (std::getline(IS, Item, ','))
-      if (!Item.empty())
-        Policies.push_back(Item);
-  }
-
   // Validate every name once, serially, before fanning out.
+  std::vector<std::string> Policies;
+  if (!parsePolicyList(Opts, /*LiveBound=*/M, Policies))
+    return 1;
   std::string FactoryError;
-  for (const std::string &Policy : Policies) {
-    Heap Probe;
-    if (!createManagerChecked(Policy, Probe, 50.0, /*LiveBound=*/M,
-                              &FactoryError)) {
-      std::cerr << "error: " << FactoryError << "\n";
-      return 1;
-    }
-  }
   if (!createProgramChecked(ProgName, M, LogN, 50.0, &FactoryError)) {
     std::cerr << "error: " << FactoryError << "\n";
     return 1;
@@ -542,7 +596,7 @@ int cmdSweep(const OptionParser &Opts) {
   Grid.addAxis("policy", Policies);
 
   ResultSink Sink({"c", "policy", "measured_HS", "measured_waste",
-                   "moved_words", "allocs", "frees", "steps"});
+                   "moved_words", "overhead", "allocs", "frees", "steps"});
   std::string TimelinePrefix = Opts.getString("timeline", "");
   TimelineSampler::Options SO = samplerOptions(Opts);
   try {
@@ -573,6 +627,7 @@ int cmdSweep(const OptionParser &Opts) {
               .addCell(Res.HeapSize)
               .addCell(Res.wasteFactor(M), 3)
               .addCell(Res.MovedWords)
+              .addCell(Res.overheadRatio(), 4)
               .addCell(Res.NumAllocations)
               .addCell(Res.NumFrees)
               .addCell(Res.Steps);
@@ -583,31 +638,6 @@ int cmdSweep(const OptionParser &Opts) {
     return 1;
   }
   return Sink.emit(Opts) ? 0 : 1;
-}
-
-/// Parses a policies= option the way cmdSweep does ("all" or a
-/// comma-separated list), validating every name against the factory.
-bool parsePolicyList(const OptionParser &Opts, uint64_t LiveBound,
-                     std::vector<std::string> &Policies) {
-  std::string PolicyList = Opts.getString("policies", "all");
-  if (PolicyList == "all") {
-    Policies = allManagerPolicies();
-  } else {
-    std::istringstream IS(PolicyList);
-    std::string Item;
-    while (std::getline(IS, Item, ','))
-      if (!Item.empty())
-        Policies.push_back(Item);
-  }
-  for (const std::string &Policy : Policies) {
-    Heap Probe;
-    std::string Error;
-    if (!createManagerChecked(Policy, Probe, 50.0, LiveBound, &Error)) {
-      std::cerr << "error: " << Error << "\n";
-      return false;
-    }
-  }
-  return !Policies.empty();
 }
 
 /// Everything one fuzz iteration produced, filled in by a worker thread
@@ -663,6 +693,11 @@ int cmdFuzz(const OptionParser &Opts) {
   HO.Policies = Policies;
   HO.C = C;
   HO.DeepCheckEvery = Deep;
+  // The replay-determinism check rides on first-fit, which family=
+  // realloc excludes from the policy list; re-home it so the check
+  // stays live for the reallocation family.
+  if (Opts.getString("family", "all") == "realloc")
+    HO.ReplayCheckPolicy = "realloc-bucket";
   if (!parseControllerSpec(Opts, HO.Controller))
     return 1;
   // heap-oracle=0 drops the per-step live-vs-reference full-heap

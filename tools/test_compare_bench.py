@@ -6,6 +6,10 @@ throughput and gated-phase regressions, tolerate ungated-phase noise,
 reject grid mismatches, and — the regression this file pins — report
 phases present on only one side as named warnings instead of silently
 skipping them (new phase) or never mentioning them (vanished phase).
+Also covers the reallocation family's quality gate: per-cell overhead
+ratios (overhead_cells) fail on growth past --max-overhead-growth,
+warn by name when a cell exists on only one side, and the mm.realloc
+phase is gated like mm.compact.
 """
 
 import contextlib
@@ -34,6 +38,25 @@ BASE = {
          "ns_per_call": 200.0},
         {"section": "exec.step", "calls": 2, "total_ms": 1.0,
          "ns_per_call": 500.0},
+    ],
+}
+
+# A bench_realloc-shaped baseline: the overhead gate and the mm.realloc
+# phase gate ride on the same comparison machinery.
+REALLOC_BASE = {
+    "bench": "realloc",
+    "logm": 12,
+    "logn": 6,
+    "total_steps": 1455,
+    "steps_per_second": 90000.0,
+    "overhead_cells": [
+        {"cell": "cohen-petrank/realloc-bucket", "overhead": 0.8421},
+        {"cell": "update-mix/realloc-jin", "overhead": 1.0224},
+        {"cell": "update-mix/realloc-never", "overhead": 0.0},
+    ],
+    "per_phase": [
+        {"section": "mm.realloc", "calls": 50, "total_ms": 1.0,
+         "ns_per_call": 300.0},
     ],
 }
 
@@ -152,6 +175,60 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("warning: phase 'heap.move' is new in the fresh run",
                       out)
+
+    def test_identical_overhead_cells_pass(self):
+        code, out = run_compare(REALLOC_BASE, copy.deepcopy(REALLOC_BASE))
+        self.assertEqual(code, 0)
+        self.assertIn("bench comparison OK", out)
+
+    def test_overhead_regression_fails(self):
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["overhead_cells"][1]["overhead"] = 1.2000  # jin +17%
+        code, out = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("overhead of update-mix/realloc-jin regressed", out)
+
+    def test_overhead_improvement_passes(self):
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["overhead_cells"][0]["overhead"] = 0.5
+        code, _ = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 0)
+
+    def test_zero_overhead_baseline_is_strict(self):
+        # A never-move cell has baseline 0.0; relative slack would allow
+        # nothing and the epsilon must not allow a real move either.
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["overhead_cells"][2]["overhead"] = 0.0001
+        code, out = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("overhead of update-mix/realloc-never regressed", out)
+
+    def test_overhead_threshold_is_adjustable(self):
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["overhead_cells"][1]["overhead"] = 1.0700  # jin +4.7%
+        code, _ = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 1)
+        code, _ = run_compare(REALLOC_BASE, fresh,
+                              ("--max-overhead-growth", "10"))
+        self.assertEqual(code, 0)
+
+    def test_one_sided_overhead_cells_warn_and_pass(self):
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["overhead_cells"] = fresh["overhead_cells"][1:] + [
+            {"cell": "update-comb/realloc-jin", "overhead": 9.9}]
+        code, out = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: overhead cell 'cohen-petrank/realloc-bucket' "
+                      "is in the baseline but missing", out)
+        self.assertIn("warning: overhead cell 'update-comb/realloc-jin' is "
+                      "new in the fresh run", out)
+
+    def test_mm_realloc_phase_is_gated(self):
+        fresh = copy.deepcopy(REALLOC_BASE)
+        fresh["per_phase"][0]["ns_per_call"] = 600.0  # mm.realloc 2x
+        code, out = run_compare(REALLOC_BASE, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("mm.realloc ns_per_call regressed", out)
 
 
 if __name__ == "__main__":
